@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the journal-commit paths: the per-fsync
+//! cost on each stack configuration (simulated time is the metric that
+//! matters for the paper; this measures simulator throughput so
+//! regressions in the hot paths are caught).
+
+use barrier_io::{DeviceProfile, IoStack, SimDuration, StackConfig, Workload};
+use bio_workloads::{Dwsl, SyncMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_fsyncs(cfg: StackConfig, n: u64) -> u64 {
+    let mut stack = IoStack::new(cfg);
+    let mut holder = Some(Box::new(Dwsl::new(SyncMode::Fsync, n)) as Box<dyn Workload>);
+    stack.add_thread(holder.take().expect("workload"));
+    stack.run_until_done(SimDuration::from_secs(3600));
+    stack.device().stats().blocks_written
+}
+
+fn bench_commit_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_path");
+    g.sample_size(10);
+    g.bench_function("ext4_dr_100_fsyncs_plain_ssd", |b| {
+        b.iter(|| run_fsyncs(StackConfig::ext4_dr(DeviceProfile::plain_ssd()), 100))
+    });
+    g.bench_function("bfs_100_fsyncs_plain_ssd", |b| {
+        b.iter(|| run_fsyncs(StackConfig::bfs(DeviceProfile::plain_ssd()), 100))
+    });
+    g.bench_function("bfs_100_fsyncs_ufs", |b| {
+        b.iter(|| run_fsyncs(StackConfig::bfs(DeviceProfile::ufs()), 100))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_paths);
+criterion_main!(benches);

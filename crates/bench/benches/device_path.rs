@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the device model: the write-submit →
+//! DMA → cache → program pipeline.
+
+use bio_flash::{BlockTag, CmdId, Command, DevAction, Device, DeviceProfile, Lba, WriteFlags};
+use bio_sim::EventQueue;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn submit_more(
+    dev: &mut Device,
+    q: &mut EventQueue<bio_flash::DevEvent>,
+    next: &mut u64,
+    n: u64,
+    completed: &mut u64,
+) {
+    while *next <= n && dev.can_accept() {
+        let cmd = Command::write(
+            CmdId(*next),
+            Lba(*next % 4096),
+            vec![BlockTag(*next)],
+            WriteFlags::NONE,
+        );
+        let mut out = Vec::new();
+        if dev.submit(cmd, q.now(), &mut out).is_err() {
+            break;
+        }
+        for a in out {
+            match a {
+                DevAction::Complete(_) => *completed += 1,
+                DevAction::After(d, ev) => q.push_after(d, ev),
+            }
+        }
+        *next += 1;
+    }
+}
+
+fn device_writes(n: u64) -> u64 {
+    let mut dev = Device::new(DeviceProfile::plain_ssd(), 7);
+    let mut q = EventQueue::new();
+    let mut completed = 0u64;
+    let mut next = 1u64;
+    submit_more(&mut dev, &mut q, &mut next, n, &mut completed);
+    while let Some((now, ev)) = q.pop() {
+        let mut out = Vec::new();
+        dev.handle(ev, now, &mut out);
+        for a in out {
+            match a {
+                DevAction::Complete(_) => completed += 1,
+                DevAction::After(d, e) => q.push_after(d, e),
+            }
+        }
+        submit_more(&mut dev, &mut q, &mut next, n, &mut completed);
+    }
+    completed
+}
+
+fn bench_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_path");
+    g.bench_function("write_pipeline_1k", |b| b.iter(|| device_writes(1000)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_device);
+criterion_main!(benches);

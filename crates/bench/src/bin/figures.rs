@@ -1,0 +1,107 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p bio-bench --release --bin figures -- --all
+//! cargo run -p bio-bench --release --bin figures -- --fig 9 --fig 11
+//! cargo run -p bio-bench --release --bin figures -- --table 1 --scale 4
+//! ```
+
+use bio_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut scale: u64 = 1;
+    let mut crash_seeds: u64 = 20;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => wanted.push("all".into()),
+            "--fig" => {
+                i += 1;
+                wanted.push(format!("fig{}", args.get(i).map(String::as_str).unwrap_or("")));
+            }
+            "--table" => {
+                i += 1;
+                wanted.push(format!(
+                    "table{}",
+                    args.get(i).map(String::as_str).unwrap_or("")
+                ));
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1)
+                    .max(1);
+            }
+            "--seeds" => {
+                i += 1;
+                crash_seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(20);
+            }
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_help();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        print_help();
+        return;
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+
+    println!("Barrier-Enabled IO Stack — experiment harness (scale {scale})");
+    if want("fig1") {
+        experiments::fig01(scale);
+    }
+    if want("fig8") {
+        experiments::fig08(scale);
+    }
+    if want("fig9") {
+        experiments::fig09(scale);
+    }
+    if want("fig10") {
+        experiments::fig10(scale);
+    }
+    if want("table1") {
+        experiments::table1(scale);
+    }
+    if want("fig11") {
+        experiments::fig11(scale);
+    }
+    if want("fig12") {
+        experiments::fig12(scale);
+    }
+    if want("fig13") {
+        experiments::fig13(scale);
+    }
+    if want("fig14") {
+        experiments::fig14(scale);
+    }
+    if want("fig15") {
+        experiments::fig15(scale);
+    }
+    if want("figengines") || want("figbarrier-engine") || all {
+        experiments::ablation_engines(scale);
+    }
+    if want("figcrash") || all {
+        experiments::ablation_crash(crash_seeds);
+    }
+}
+
+fn print_help() {
+    println!(
+        "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N]\n\
+         figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, engines, crash; table: 1\n\
+         --scale multiplies run length (1 = quick)"
+    );
+}

@@ -1,0 +1,821 @@
+//! One runner per table/figure of the paper.
+//!
+//! Every function takes `scale` (1 = quick CI-sized run, larger = closer
+//! to the paper's operation counts) and prints its results; it also
+//! returns the raw rows so tests and EXPERIMENTS.md generation can check
+//! shapes programmatically.
+
+use barrier_io::{
+    DeviceProfile, FileRef, IoStack, OpKind, SimDuration, StackConfig, Workload,
+};
+use bio_flash::BarrierMode;
+use bio_workloads::{
+    Dwsl, OltpInsert, RandWrite, Sqlite, SqliteJournalMode, SyncMode, Varmail, WriteMode,
+};
+
+use crate::{print_table, run_to_completion, run_windowed, run_windowed_stack};
+
+fn huge() -> u64 {
+    u64::MAX / 2
+}
+
+fn warm() -> SimDuration {
+    SimDuration::from_millis(50)
+}
+
+fn window(scale: u64) -> SimDuration {
+    SimDuration::from_millis(200 * scale)
+}
+
+fn buffered_workload(region: u64) -> Box<dyn Workload> {
+    Box::new(RandWrite::new(
+        FileRef::Global(0),
+        region,
+        WriteMode::Buffered,
+        huge(),
+    ))
+}
+
+fn sync_workload(region: u64, sync: SyncMode) -> Box<dyn Workload> {
+    Box::new(RandWrite::new(
+        FileRef::Global(0),
+        region,
+        WriteMode::SyncEach(sync),
+        huge(),
+    ))
+}
+
+fn with_file(cfg: StackConfig) -> impl Fn(Box<dyn Workload>) -> StackConfigRun {
+    move |w| StackConfigRun {
+        cfg: cfg.clone(),
+        w: Some(w),
+    }
+}
+
+/// Helper pairing a config with a single-thread workload.
+pub struct StackConfigRun {
+    cfg: StackConfig,
+    w: Option<Box<dyn Workload>>,
+}
+
+impl StackConfigRun {
+    fn kiops(mut self, scale: u64) -> (f64, f64) {
+        let w = self.w.take().expect("workload");
+        let mut holder = Some(w);
+        let report = run_windowed(
+            self.cfg,
+            move |_| holder.take().expect("single thread"),
+            1,
+            warm(),
+            window(scale),
+        );
+        (report.write_kiops, report.mean_qd)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig 1 — ordered write vs buffered write across device parallelism.
+// ---------------------------------------------------------------------
+
+/// Fig 1: `write()+fdatasync()` vs plain `write()` IOPS ratio per device.
+pub fn fig01(scale: u64) -> Vec<(String, f64, f64, f64)> {
+    // Device letters follow the paper: A eMMC, B UFS, C SATA, D NVMe,
+    // E SATA+supercap, F PCIe, G 32-channel flash array (+HDD reference).
+    let devices: Vec<(&str, DeviceProfile)> = vec![
+        ("A:mobile/eMMC", DeviceProfile::emmc()),
+        ("B:mobile/UFS", DeviceProfile::ufs()),
+        ("C:server/SATA", DeviceProfile::plain_ssd()),
+        ("D:server/NVMe", {
+            let mut p = DeviceProfile::flash_array(16);
+            p.name = "NVMe".into();
+            p
+        }),
+        ("E:SATA-supercap", DeviceProfile::supercap_ssd()),
+        ("F:server/PCIe", {
+            let mut p = DeviceProfile::flash_array(24);
+            p.name = "PCIe".into();
+            p
+        }),
+        ("G:flash-array", DeviceProfile::flash_array(32)),
+        ("HDD", DeviceProfile::hdd()),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, dev) in devices {
+        let region = 8192;
+        let mut bcfg = StackConfig::ext4_dr(dev.clone());
+        bcfg.fs.writeback_interval = SimDuration::from_millis(20);
+        let (buffered, _) = with_file(bcfg)(buffered_workload(region)).kiops(scale);
+        let ocfg = StackConfig::ext4_dr(dev.clone());
+        let (ordered, _) = with_file(ocfg)(sync_workload(region, SyncMode::Fdatasync)).kiops(scale);
+        let ratio = if buffered > 0.0 {
+            100.0 * ordered / buffered
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{buffered:.1}"),
+            format!("{ordered:.2}"),
+            format!("{ratio:.1}%"),
+        ]);
+        out.push((label.to_string(), buffered, ordered, ratio));
+    }
+    print_table(
+        "Fig 1 — Ordered write() vs buffered write() (4KB random)",
+        &["device", "buffered KIOPS", "ordered KIOPS", "ordered/buffered"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 9 — 4KB random write, XnF / X / B / P per device.
+// ---------------------------------------------------------------------
+
+/// One Fig 9 cell.
+#[derive(Debug, Clone)]
+pub struct Fig9Cell {
+    /// Device name.
+    pub device: String,
+    /// Scenario label (XnF/X/B/P).
+    pub scenario: &'static str,
+    /// Thousands of 4 KiB writes per second.
+    pub kiops: f64,
+    /// Mean device queue depth.
+    pub qd: f64,
+}
+
+/// Fig 9: IOPS and queue depth for the four ordering scenarios.
+pub fn fig09(scale: u64) -> Vec<Fig9Cell> {
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for dev in [
+        DeviceProfile::ufs(),
+        DeviceProfile::plain_ssd(),
+        DeviceProfile::supercap_ssd(),
+    ] {
+        let region = 8192;
+        let scenarios: Vec<(&'static str, StackConfig, Box<dyn Workload>)> = vec![
+            (
+                "XnF",
+                StackConfig::ext4_dr(dev.clone()),
+                sync_workload(region, SyncMode::Fdatasync),
+            ),
+            (
+                "X",
+                StackConfig::ext4_od(dev.clone()),
+                sync_workload(region, SyncMode::Fdatasync),
+            ),
+            (
+                "B",
+                StackConfig::bfs(dev.clone()),
+                sync_workload(region, SyncMode::Fdatabarrier),
+            ),
+            ("P", StackConfig::ext4_dr(dev.clone()), {
+                buffered_workload(region)
+            }),
+        ];
+        for (label, cfg, w) in scenarios {
+            let (kiops, qd) = with_file(cfg)(w).kiops(scale);
+            rows.push(vec![
+                dev.name.clone(),
+                label.to_string(),
+                format!("{kiops:.2}"),
+                format!("{qd:.2}"),
+            ]);
+            cells.push(Fig9Cell {
+                device: dev.name.clone(),
+                scenario: label,
+                kiops,
+                qd,
+            });
+        }
+    }
+    print_table(
+        "Fig 9 — 4KB random write: XnF (flush), X (wait-on-transfer), B (barrier), P (buffered)",
+        &["device", "scenario", "KIOPS", "mean QD"],
+        &rows,
+    );
+    cells
+}
+
+// ---------------------------------------------------------------------
+// Fig 10 — queue depth over time, Wait-on-Transfer vs barrier.
+// ---------------------------------------------------------------------
+
+/// Fig 10: queue-depth traces (down-sampled) for X vs B on two devices.
+pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    for dev in [DeviceProfile::plain_ssd(), DeviceProfile::ufs()] {
+        for (label, cfg, sync) in [
+            (
+                "Wait-on-Transfer",
+                StackConfig::ext4_od(dev.clone()),
+                SyncMode::Fdatasync,
+            ),
+            (
+                "Barrier",
+                StackConfig::bfs(dev.clone()),
+                SyncMode::Fdatabarrier,
+            ),
+        ] {
+            let (stack, _) = run_windowed_stack(
+                cfg,
+                |_| sync_workload(8192, sync),
+                1,
+                warm(),
+                window(scale),
+            );
+            let now = stack.now();
+            let from = now - window(scale);
+            let series: Vec<f64> = stack
+                .device()
+                .qd_series()
+                .resample(from, now, 24)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect();
+            let name = format!("{} / {}", dev.name, label);
+            let plot: String = series
+                .iter()
+                .map(|v| {
+                    let steps = "▁▂▃▄▅▆▇█";
+                    let idx = ((v / 32.0) * 7.0).min(7.0).max(0.0) as usize;
+                    steps.chars().nth(idx).unwrap_or('▁')
+                })
+                .collect();
+            println!("Fig10 {name:<28} mean-QD trace: {plot}");
+            out.push((name, series));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table 1 — fsync latency statistics.
+// ---------------------------------------------------------------------
+
+/// One Table 1 row: latency stats in milliseconds.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Device name.
+    pub device: String,
+    /// Stack label.
+    pub stack: &'static str,
+    /// Mean, median, p99, p99.9, p99.99 (ms).
+    pub stats: [f64; 5],
+}
+
+/// Ages a device so garbage collection is active during the measurement
+/// (responsible for the paper's heavy fsync tail latencies).
+fn aged(mut dev: DeviceProfile, run_blocks: u64) -> DeviceProfile {
+    let seg_pages = dev.pages_per_segment as u64;
+    dev.segments = ((run_blocks / seg_pages).max(8) as usize).min(dev.segments);
+    dev
+}
+
+/// Table 1: fsync latency (mean/median/p99/p99.9/p99.99) EXT4 vs BFS.
+/// The workload is the paper's "4 KByte write() followed by fsync()"
+/// (overwrites of a warm region), on an aged device so GC contributes the
+/// tail.
+pub fn table1(scale: u64) -> Vec<Table1Row> {
+    let n = 1_000 * scale;
+    let mut rows = Vec::new();
+    let mut printed = Vec::new();
+    for dev in [
+        DeviceProfile::ufs(),
+        DeviceProfile::plain_ssd(),
+        DeviceProfile::supercap_ssd(),
+    ] {
+        let dev = aged(dev, n * 8);
+        for (label, cfg) in [
+            ("EXT4", StackConfig::ext4_dr(dev.clone())),
+            ("BFS", StackConfig::bfs(dev.clone())),
+        ] {
+            let report = run_to_completion(
+                cfg,
+                move |_| {
+                    Box::new(RandWrite::new(
+                        FileRef::Global(0),
+                        64,
+                        WriteMode::SyncEach(SyncMode::Fsync),
+                        n,
+                    )) as Box<dyn Workload>
+                },
+                1,
+                SimDuration::ZERO,
+                SimDuration::from_secs(3600),
+            );
+            let f = report
+                .run
+                .op(OpKind::Fsync)
+                .expect("fsync ran")
+                .latency;
+            let stats = [
+                f.mean.as_millis_f64(),
+                f.p50.as_millis_f64(),
+                f.p99.as_millis_f64(),
+                f.p999.as_millis_f64(),
+                f.p9999.as_millis_f64(),
+            ];
+            printed.push(vec![
+                dev.name.clone(),
+                label.to_string(),
+                format!("{:.2}", stats[0]),
+                format!("{:.2}", stats[1]),
+                format!("{:.2}", stats[2]),
+                format!("{:.2}", stats[3]),
+                format!("{:.2}", stats[4]),
+            ]);
+            rows.push(Table1Row {
+                device: dev.name.clone(),
+                stack: label,
+                stats,
+            });
+        }
+    }
+    print_table(
+        "Table 1 — fsync() latency statistics (ms)",
+        &["device", "stack", "mean", "median", "p99", "p99.9", "p99.99"],
+        &printed,
+    );
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fig 11 — context switches per sync call.
+// ---------------------------------------------------------------------
+
+/// Fig 11: application-level context switches per fsync/fbarrier.
+pub fn fig11(scale: u64) -> Vec<(String, &'static str, f64)> {
+    let n = 1_000 * scale;
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for dev in [
+        DeviceProfile::ufs(),
+        DeviceProfile::plain_ssd(),
+        DeviceProfile::supercap_ssd(),
+    ] {
+        let cells: Vec<(&'static str, StackConfig, SyncMode, OpKind)> = vec![
+            (
+                "EXT4-DR",
+                StackConfig::ext4_dr(dev.clone()),
+                SyncMode::Fsync,
+                OpKind::Fsync,
+            ),
+            (
+                "BFS-DR",
+                StackConfig::bfs(dev.clone()),
+                SyncMode::Fsync,
+                OpKind::Fsync,
+            ),
+            (
+                "EXT4-OD",
+                StackConfig::ext4_od(dev.clone()),
+                SyncMode::Fsync,
+                OpKind::Fsync,
+            ),
+            (
+                "BFS-OD",
+                StackConfig::bfs(dev.clone()),
+                SyncMode::Fbarrier,
+                OpKind::Fbarrier,
+            ),
+        ];
+        for (label, cfg, sync, kind) in cells {
+            // Overwrites of a warm region: the paper's workload, where the
+            // timer-tick effect makes fsync degenerate to fdatasync.
+            let report = run_to_completion(
+                cfg,
+                move |_| {
+                    Box::new(RandWrite::new(
+                        FileRef::Global(0),
+                        64,
+                        WriteMode::SyncEach(sync),
+                        n,
+                    )) as Box<dyn Workload>
+                },
+                1,
+                SimDuration::ZERO,
+                SimDuration::from_secs(3600),
+            );
+            let s = report.run.op(kind).map_or(0.0, |o| o.switches_per_op);
+            rows.push(vec![dev.name.clone(), label.to_string(), format!("{s:.2}")]);
+            out.push((dev.name.clone(), label, s));
+        }
+    }
+    print_table(
+        "Fig 11 — context switches per fsync()/fbarrier()",
+        &["device", "stack", "switches/op"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 12 — BarrierFS queue depth: fsync vs fbarrier.
+// ---------------------------------------------------------------------
+
+/// Fig 12: peak device queue depth under fsync vs fbarrier on BarrierFS.
+pub fn fig12(scale: u64) -> Vec<(&'static str, f64, f64)> {
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (label, sync) in [("fsync", SyncMode::Fsync), ("fbarrier", SyncMode::Fbarrier)] {
+        let mut cfg = StackConfig::bfs(DeviceProfile::ufs());
+        // fsync exercises the full commit path (allocating appends); the
+        // ordering-guarantee row overwrites a warm region, where most
+        // fbarrier calls degenerate to fdatabarrier and never block — that
+        // is what lets the queue fill up (Fig 12(b)).
+        let mk: Box<dyn Fn() -> Box<dyn Workload>> = if sync == SyncMode::Fsync {
+            cfg.fs.timer_tick = SimDuration::from_micros(1);
+            Box::new(move || Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>)
+        } else {
+            Box::new(move || {
+                Box::new(RandWrite::new(
+                    FileRef::Global(0),
+                    64,
+                    WriteMode::SyncEach(sync),
+                    huge(),
+                )) as Box<dyn Workload>
+            })
+        };
+        let (stack, report) = run_windowed_stack(cfg, |_| mk(), 1, warm(), window(scale));
+        let _ = &report;
+        let now = stack.now();
+        let from = now - window(scale);
+        let peak = stack.device().qd_series().max_in(from, now);
+        let mean = stack.device().qd_series().weighted_mean(from, now);
+        rows.push(vec![
+            label.to_string(),
+            format!("{mean:.2}"),
+            format!("{peak:.0}"),
+        ]);
+        out.push((label, mean, peak));
+    }
+    print_table(
+        "Fig 12 — BarrierFS queue depth: durability vs ordering guarantee",
+        &["call", "mean QD", "peak QD"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 13 — journaling scalability (fxmark DWSL).
+// ---------------------------------------------------------------------
+
+/// Fig 13: ops/sec vs core (=thread) count, EXT4-DR vs BFS-DR.
+pub fn fig13(scale: u64) -> Vec<(String, &'static str, usize, f64)> {
+    let cores = [1usize, 2, 4, 6, 8, 10, 12];
+    let writes = 200 * scale;
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
+        for (label, mk_cfg) in [
+            (
+                "EXT4-DR",
+                Box::new(StackConfig::ext4_dr) as Box<dyn Fn(DeviceProfile) -> StackConfig>,
+            ),
+            ("BFS-DR", Box::new(StackConfig::bfs)),
+        ] {
+            for &n in &cores {
+                let report = run_to_completion(
+                    mk_cfg(dev.clone()),
+                    |_| Box::new(Dwsl::new(SyncMode::Fsync, writes)) as Box<dyn Workload>,
+                    n,
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(3600),
+                );
+                let ops = report.run.txns_per_sec();
+                rows.push(vec![
+                    dev.name.clone(),
+                    label.to_string(),
+                    n.to_string(),
+                    format!("{:.0}", ops),
+                ]);
+                out.push((dev.name.clone(), label, n, ops));
+            }
+        }
+    }
+    print_table(
+        "Fig 13 — fxmark DWSL scalability (ops/s per core count)",
+        &["device", "stack", "cores", "ops/s"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 14 — SQLite.
+// ---------------------------------------------------------------------
+
+/// Fig 14: SQLite inserts/sec per journal mode and stack.
+pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
+    let inserts = 500 * scale;
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    type MkSqlite = Box<dyn Fn(SqliteJournalMode, FileRef, FileRef, u64) -> Sqlite>;
+    // (a) mobile storage: durability rows.
+    // (b) plain-SSD: ordering rows + the EXT4-DR baseline for the 73x claim.
+    let cells: Vec<(DeviceProfile, &'static str, StackConfig, MkSqlite)> = vec![
+        (
+            DeviceProfile::ufs(),
+            "EXT4-DR",
+            StackConfig::ext4_dr(DeviceProfile::ufs()),
+            Box::new(Sqlite::durability),
+        ),
+        (
+            DeviceProfile::ufs(),
+            "BFS-DR",
+            StackConfig::bfs(DeviceProfile::ufs()),
+            Box::new(Sqlite::barrier_durability),
+        ),
+        (
+            DeviceProfile::ufs(),
+            "BFS-OD",
+            StackConfig::bfs(DeviceProfile::ufs()),
+            Box::new(Sqlite::ordering),
+        ),
+        (
+            DeviceProfile::plain_ssd(),
+            "EXT4-DR",
+            StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
+            Box::new(Sqlite::durability),
+        ),
+        (
+            DeviceProfile::plain_ssd(),
+            "EXT4-OD",
+            StackConfig::ext4_od(DeviceProfile::plain_ssd()),
+            Box::new(Sqlite::durability),
+        ),
+        (
+            DeviceProfile::plain_ssd(),
+            "OptFS",
+            StackConfig::optfs(DeviceProfile::plain_ssd()),
+            Box::new(Sqlite::ordering),
+        ),
+        (
+            DeviceProfile::plain_ssd(),
+            "BFS-OD",
+            StackConfig::bfs(DeviceProfile::plain_ssd()),
+            Box::new(Sqlite::ordering),
+        ),
+    ];
+    for mode in [SqliteJournalMode::Persist, SqliteJournalMode::Wal] {
+        let mode_name = match mode {
+            SqliteJournalMode::Persist => "PERSIST",
+            SqliteJournalMode::Wal => "WAL",
+        };
+        for (dev, label, cfg, mk) in &cells {
+            let mut stack = IoStack::new(cfg.clone());
+            let db = stack.create_global_file();
+            let journal = stack.create_global_file();
+            let w = mk(
+                mode,
+                FileRef::Global(db),
+                FileRef::Global(journal),
+                inserts,
+            );
+            stack.add_thread(Box::new(w));
+            stack.start_measuring();
+            stack.run_until_done(SimDuration::from_secs(3600));
+            let tps = stack.report().run.txns_per_sec();
+            rows.push(vec![
+                mode_name.to_string(),
+                dev.name.clone(),
+                label.to_string(),
+                format!("{tps:.0}"),
+            ]);
+            out.push((mode_name.to_string(), dev.name.clone(), *label, tps));
+        }
+    }
+    print_table(
+        "Fig 14 — SQLite inserts/s (PERSIST and WAL journal modes)",
+        &["journal", "device", "stack", "inserts/s"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 15 — varmail and OLTP-insert.
+// ---------------------------------------------------------------------
+
+/// Fig 15: server workloads across the five stacks on two devices.
+pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
+        let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
+            ("EXT4-DR", StackConfig::ext4_dr(dev.clone()), SyncMode::Fsync),
+            ("BFS-DR", StackConfig::bfs(dev.clone()), SyncMode::Fsync),
+            ("OptFS", StackConfig::optfs(dev.clone()), SyncMode::Fbarrier),
+            ("EXT4-OD", StackConfig::ext4_od(dev.clone()), SyncMode::Fsync),
+            ("BFS-OD", StackConfig::bfs(dev.clone()), SyncMode::Fbarrier),
+        ];
+        for (label, cfg, sync) in stacks {
+            // varmail: 16 threads.
+            let iters = 100 * scale;
+            let report = run_to_completion(
+                cfg.clone(),
+                |_| Box::new(Varmail::new(sync, iters, 8)) as Box<dyn Workload>,
+                16,
+                SimDuration::ZERO,
+                SimDuration::from_secs(3600),
+            );
+            let varmail_ops = report.run.txns_per_sec();
+            // OLTP-insert: 8 client threads on shared table/redo/binlog.
+            let txns = 200 * scale;
+            let mut stack = IoStack::new(cfg.clone());
+            let table = stack.create_global_file();
+            let redo = stack.create_global_file();
+            let binlog = stack.create_global_file();
+            for _ in 0..8 {
+                stack.add_thread(Box::new(OltpInsert::new(
+                    sync,
+                    FileRef::Global(table),
+                    FileRef::Global(redo),
+                    FileRef::Global(binlog),
+                    txns,
+                )));
+            }
+            stack.start_measuring();
+            stack.run_until_done(SimDuration::from_secs(3600));
+            let oltp_tps = stack.report().run.txns_per_sec();
+            rows.push(vec![
+                dev.name.clone(),
+                label.to_string(),
+                format!("{varmail_ops:.0}"),
+                format!("{oltp_tps:.0}"),
+            ]);
+            out.push((dev.name.clone(), "varmail".to_string(), label, varmail_ops));
+            out.push((dev.name.clone(), "oltp".to_string(), label, oltp_tps));
+        }
+    }
+    print_table(
+        "Fig 15 — server workloads: varmail (iterations/s) and OLTP-insert (Tx/s)",
+        &["device", "stack", "varmail it/s", "OLTP Tx/s"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 8 — journal commit interval.
+// ---------------------------------------------------------------------
+
+/// Fig 8: journal commits per second under a commit storm (the inverse of
+/// the commit interval): BFS (tD) > no-flush (tD+tC) > quick flush
+/// (tD+tC+te) > full flush (tD+tC+tF).
+pub fn fig08(scale: u64) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    let cells: Vec<(&'static str, StackConfig, SyncMode)> = vec![
+        (
+            "BarrierFS (tD)",
+            StackConfig::bfs(DeviceProfile::plain_ssd()),
+            SyncMode::Fbarrier,
+        ),
+        (
+            "EXT4 no flush (tD+tC)",
+            StackConfig::ext4_od(DeviceProfile::plain_ssd()),
+            SyncMode::Fsync,
+        ),
+        ("EXT4 quick flush (tD+tC+te)", {
+            // The same device as the full-flush row, but with PLP: flush
+            // degenerates to the t_eps round trip (§4.4).
+            let mut d = DeviceProfile::plain_ssd();
+            d.plp = true;
+            d.name = "plain-SSD+PLP".into();
+            StackConfig::ext4_dr(d)
+        }, SyncMode::Fsync),
+        (
+            "EXT4 full flush (tD+tC+tF)",
+            StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
+            SyncMode::Fsync,
+        ),
+    ];
+    for (label, mut cfg, sync) in cells {
+        cfg.fs.timer_tick = SimDuration::from_micros(1); // every sync commits
+        let (stack, report) = run_windowed_stack(
+            cfg,
+            |_| Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>,
+            4,
+            warm(),
+            window(scale),
+        );
+        let commits = stack.fs().stats().commits;
+        let per_sec = commits as f64 / report.run.elapsed.as_secs_f64();
+        let interval_us = if per_sec > 0.0 {
+            1e6 / per_sec
+        } else {
+            f64::INFINITY
+        };
+        rows.push(vec![
+            label.to_string(),
+            format!("{per_sec:.0}"),
+            format!("{interval_us:.0}"),
+        ]);
+        out.push((label, per_sec));
+    }
+    print_table(
+        "Fig 8 — journal commit rate under a commit storm",
+        &["configuration", "commits/s", "mean interval (us)"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Ablation: barrier-enforcement engines (§3.2's three options).
+// ---------------------------------------------------------------------
+
+/// Ablation: fdatabarrier throughput under each barrier engine.
+pub fn ablation_engines(scale: u64) -> Vec<(&'static str, f64)> {
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("in-order writeback", BarrierMode::InOrderWriteback),
+        ("transactional", BarrierMode::Transactional),
+        ("LFS in-order recovery", BarrierMode::LfsInOrderRecovery),
+    ] {
+        let dev = DeviceProfile::ufs().with_barrier_mode(mode);
+        let cfg = StackConfig::bfs(dev);
+        let (kiops, _) =
+            with_file(cfg)(sync_workload(8192, SyncMode::Fdatabarrier)).kiops(scale);
+        rows.push(vec![label.to_string(), format!("{kiops:.2}")]);
+        out.push((label, kiops));
+    }
+    print_table(
+        "Ablation — barrier write KIOPS per enforcement engine (UFS-class device)",
+        &["engine", "KIOPS"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Ablation: crash-consistency violations.
+// ---------------------------------------------------------------------
+
+/// Crash audit: violation counts over `seeds` random crash points.
+pub fn ablation_crash(seeds: u64) -> Vec<(&'static str, u64, u64)> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    type Cfg = Box<dyn Fn() -> StackConfig>;
+    let cells: Vec<(&'static str, Cfg, SyncMode)> = vec![
+        (
+            "BFS-OD on barrier device",
+            Box::new(|| StackConfig::bfs(DeviceProfile::ufs()).with_history()),
+            SyncMode::Fbarrier,
+        ),
+        (
+            "EXT4-DR (full flush)",
+            Box::new(|| StackConfig::ext4_dr(DeviceProfile::ufs()).with_history()),
+            SyncMode::Fsync,
+        ),
+        (
+            "EXT4-OD on orderless device",
+            Box::new(|| {
+                let mut d = DeviceProfile::ufs().with_barrier_mode(BarrierMode::Unsupported);
+                d.cache_blocks = 48;
+                StackConfig::ext4_od(d).with_history()
+            }),
+            SyncMode::Fsync,
+        ),
+    ];
+    for (label, mk_cfg, sync) in cells {
+        let mut crashes_with_violation = 0u64;
+        let mut total_violations = 0u64;
+        for seed in 0..seeds {
+            let mut cfg = mk_cfg().with_seed(seed);
+            cfg.fs.timer_tick = SimDuration::from_micros(1);
+            let mut stack = IoStack::new(cfg);
+            let f = stack.create_global_file();
+            stack.add_thread(Box::new(RandWrite::new(
+                FileRef::Global(f),
+                64,
+                WriteMode::SyncEach(sync),
+                100,
+            )));
+            stack.run_for(SimDuration::from_millis(2 + seed * 3));
+            let crash = stack.crash();
+            let v = crash.fs_violations.len() + crash.epoch_violations.len();
+            total_violations += v as u64;
+            crashes_with_violation += u64::from(v > 0);
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{crashes_with_violation}/{seeds}"),
+            total_violations.to_string(),
+        ]);
+        out.push((label, crashes_with_violation, total_violations));
+    }
+    print_table(
+        "Ablation — crash-consistency violations over random crash points",
+        &["stack", "crashes w/ violations", "total violations"],
+        &rows,
+    );
+    out
+}

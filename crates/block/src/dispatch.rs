@@ -1,0 +1,238 @@
+//! Order-Preserving Dispatch (§3.4) and the block layer facade.
+//!
+//! [`BlockLayer`] owns the device and glues the pieces together:
+//!
+//! * requests are queued through the configured IO scheduler (epoch-based
+//!   or a legacy one);
+//! * dispatchable requests are converted to device commands. In
+//!   [`DispatchMode::OrderPreserving`] a barrier write is tagged with the
+//!   SCSI **ordered** priority, which is "the only thing the host block
+//!   device driver does" to guarantee transfer order without blocking the
+//!   caller;
+//! * when the device queue is full the request is held back and redispatch
+//!   is retried after the SCSI-style retry interval (Fig 6(b));
+//! * device completions are translated back into per-request completions
+//!   (a merged request completes every constituent bio).
+
+use std::collections::HashMap;
+
+use bio_flash::{CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
+use bio_sim::{SimDuration, SimTime};
+
+use crate::epoch::EpochScheduler;
+use crate::request::{BlockRequest, MergedRequest, ReqId, ReqOp};
+use crate::scheduler::{IoScheduler, SchedulerKind};
+
+/// How the dispatch module enforces transfer order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Legacy stack: every command dispatches with `simple` priority;
+    /// ordering is whatever the caller enforces by waiting
+    /// (Wait-on-Transfer).
+    Legacy,
+    /// Order-preserving dispatch: barrier writes carry the `ordered`
+    /// priority and the `REQ_BARRIER` device flag.
+    #[default]
+    OrderPreserving,
+}
+
+/// SCSI-style retry delay when the device queue is full (the paper quotes
+/// 3 ms for SCSI devices).
+pub const BUSY_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(3);
+
+/// Events the block layer schedules for itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEvent {
+    /// A device-internal event to forward.
+    Dev(DevEvent),
+    /// Retry dispatching after a device-busy bounce.
+    Retry,
+}
+
+/// What the block layer reports upward after processing an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockAction {
+    /// A bio completed (one per constituent of a merged request).
+    Complete(ReqId, SimTime),
+    /// Schedule `BlockEvent` after the delay.
+    After(SimDuration, BlockEvent),
+}
+
+/// Block-layer statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockStats {
+    /// Requests submitted by the filesystem.
+    pub submitted: u64,
+    /// Commands dispatched to the device.
+    pub dispatched: u64,
+    /// Completions delivered upward.
+    pub completed: u64,
+    /// Device-busy bounces (each costs a retry interval).
+    pub busy_retries: u64,
+}
+
+/// The order-preserving block device layer.
+#[derive(Debug)]
+pub struct BlockLayer {
+    sched: EpochScheduler,
+    mode: DispatchMode,
+    dev: Device,
+    /// Command in flight at the device, by command id.
+    inflight: HashMap<CmdId, Vec<ReqId>>,
+    /// A dispatched request the device bounced; retried on `Retry`.
+    held: Option<MergedRequest>,
+    retry_pending: bool,
+    next_cmd: u64,
+    stats: BlockStats,
+}
+
+impl BlockLayer {
+    /// Builds a block layer over `dev` with the given scheduler and
+    /// dispatch mode. The epoch scheduler always wraps the chosen base
+    /// scheduler — with no barrier requests it behaves exactly like the
+    /// base scheduler, so the legacy configurations are unaffected.
+    pub fn new(dev: Device, base: SchedulerKind, mode: DispatchMode) -> BlockLayer {
+        BlockLayer {
+            sched: EpochScheduler::new(base.build()),
+            mode,
+            dev,
+            inflight: HashMap::new(),
+            held: None,
+            retry_pending: false,
+            next_cmd: 1,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Access to the device (metrics, crash injection).
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Mutable access to the device (history recording).
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+
+    /// Block-layer statistics.
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Requests waiting in the scheduler (not yet dispatched).
+    pub fn queued(&self) -> usize {
+        self.sched.len() + usize::from(self.held.is_some())
+    }
+
+    /// Submits a request from the filesystem.
+    pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut Vec<BlockAction>) {
+        self.stats.submitted += 1;
+        self.sched.enqueue(req);
+        self.pump(now, out);
+    }
+
+    /// Handles a previously scheduled [`BlockEvent`].
+    pub fn handle(&mut self, ev: BlockEvent, now: SimTime, out: &mut Vec<BlockAction>) {
+        match ev {
+            BlockEvent::Dev(dev_ev) => {
+                let mut dev_actions = Vec::new();
+                self.dev.handle(dev_ev, now, &mut dev_actions);
+                self.apply_dev_actions(dev_actions, now, out);
+                // Completions free device queue slots: keep dispatching.
+                self.pump(now, out);
+            }
+            BlockEvent::Retry => {
+                self.retry_pending = false;
+                self.pump(now, out);
+            }
+        }
+    }
+
+    fn pump(&mut self, now: SimTime, out: &mut Vec<BlockAction>) {
+        loop {
+            // Re-offer a held (bounced) request first to preserve order.
+            let m = match self.held.take() {
+                Some(m) => m,
+                None => {
+                    if !self.dev.can_accept() {
+                        break;
+                    }
+                    match self.sched.dequeue() {
+                        Some(m) => m,
+                        None => break,
+                    }
+                }
+            };
+            let cmd = self.to_command(&m);
+            let ids = m.ids.clone();
+            let cmd_id = cmd.id;
+            let mut dev_actions = Vec::new();
+            match self.dev.submit(cmd, now, &mut dev_actions) {
+                Ok(()) => {
+                    self.stats.dispatched += 1;
+                    self.inflight.insert(cmd_id, ids);
+                    self.apply_dev_actions(dev_actions, now, out);
+                }
+                Err(_cmd) => {
+                    // Device busy: hold the request and retry later
+                    // (Fig 6(b) — the kernel daemon inherits the retry).
+                    self.stats.busy_retries += 1;
+                    self.held = Some(m);
+                    if !self.retry_pending {
+                        self.retry_pending = true;
+                        out.push(BlockAction::After(BUSY_RETRY_INTERVAL, BlockEvent::Retry));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    fn to_command(&mut self, m: &MergedRequest) -> Command {
+        let id = CmdId(self.next_cmd);
+        self.next_cmd += 1;
+        let flags = m.req.flags;
+        match &m.req.op {
+            ReqOp::Write { start, tags } => {
+                let wf = WriteFlags {
+                    fua: flags.fua,
+                    flush_before: flags.preflush,
+                    barrier: flags.barrier && self.mode == DispatchMode::OrderPreserving,
+                };
+                let prio = if flags.barrier && self.mode == DispatchMode::OrderPreserving {
+                    Priority::Ordered
+                } else {
+                    Priority::Simple
+                };
+                Command::write(id, *start, tags.clone(), wf).with_priority(prio)
+            }
+            ReqOp::Read { start, count } => Command::read(id, *start, *count),
+            ReqOp::Flush => Command::flush(id),
+        }
+    }
+
+    fn apply_dev_actions(
+        &mut self,
+        actions: Vec<DevAction>,
+        _now: SimTime,
+        out: &mut Vec<BlockAction>,
+    ) {
+        for a in actions {
+            match a {
+                DevAction::Complete(c) => {
+                    let ids = self
+                        .inflight
+                        .remove(&c.id)
+                        .expect("completion for unknown command");
+                    for rid in ids {
+                        self.stats.completed += 1;
+                        out.push(BlockAction::Complete(rid, c.at));
+                    }
+                }
+                DevAction::After(d, ev) => {
+                    out.push(BlockAction::After(d, BlockEvent::Dev(ev)));
+                }
+            }
+        }
+    }
+}

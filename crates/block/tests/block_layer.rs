@@ -1,0 +1,200 @@
+//! End-to-end block layer behaviour over the simulated device.
+
+use bio_block::{
+    BlockAction, BlockEvent, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId,
+    SchedulerKind,
+};
+use bio_flash::{audit_epoch_order, BlockTag, Device, DeviceProfile, Lba};
+use bio_sim::{EventQueue, SimTime};
+
+struct Harness {
+    layer: BlockLayer,
+    q: EventQueue<BlockEvent>,
+    done: Vec<(ReqId, SimTime)>,
+}
+
+impl Harness {
+    fn new(profile: DeviceProfile, mode: DispatchMode) -> Harness {
+        let dev = Device::new(profile, 99);
+        Harness {
+            layer: BlockLayer::new(dev, SchedulerKind::Elevator, mode),
+            q: EventQueue::new(),
+            done: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<BlockAction>) {
+        for a in actions {
+            match a {
+                BlockAction::Complete(id, at) => self.done.push((id, at)),
+                BlockAction::After(d, ev) => self.q.push_after(d, ev),
+            }
+        }
+    }
+
+    fn submit(&mut self, req: BlockRequest) {
+        let mut out = Vec::new();
+        let now = self.q.now();
+        self.layer.submit(req, now, &mut out);
+        self.apply(out);
+    }
+
+    fn run(&mut self) {
+        while let Some((now, ev)) = self.q.pop() {
+            let mut out = Vec::new();
+            self.layer.handle(ev, now, &mut out);
+            self.apply(out);
+        }
+    }
+
+    fn run_steps(&mut self, n: usize) {
+        for _ in 0..n {
+            let Some((now, ev)) = self.q.pop() else { return };
+            let mut out = Vec::new();
+            self.layer.handle(ev, now, &mut out);
+            self.apply(out);
+        }
+    }
+}
+
+fn w(id: u64, lba: u64, flags: ReqFlags) -> BlockRequest {
+    BlockRequest::write(ReqId(id), Lba(lba), vec![BlockTag(id + 1000)], flags)
+}
+
+#[test]
+fn requests_complete_through_the_stack() {
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+    for i in 0..4 {
+        h.submit(w(i, i * 10, ReqFlags::NONE));
+    }
+    h.run();
+    assert_eq!(h.done.len(), 4);
+    assert_eq!(h.layer.stats().submitted, 4);
+    assert!(h.layer.stats().dispatched <= 4, "merging can reduce commands");
+    assert_eq!(h.layer.stats().completed, 4);
+}
+
+#[test]
+fn merged_requests_complete_every_bio() {
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+    // Fill the device queue (UFS QD = 16) so later requests pool in the
+    // scheduler, where merging happens.
+    for i in 0..16 {
+        h.submit(w(i, i * 50, ReqFlags::NONE));
+    }
+    // Four adjacent blocks merge into one command while waiting.
+    for i in 16..20 {
+        h.submit(w(i, 1000 + i, ReqFlags::NONE));
+    }
+    h.run();
+    assert_eq!(h.done.len(), 20, "each bio gets its completion");
+    assert!(
+        h.layer.stats().dispatched < 20,
+        "adjacent waiting writes should merge ({} dispatched)",
+        h.layer.stats().dispatched
+    );
+}
+
+#[test]
+fn busy_device_retries_and_completes_everything() {
+    // UFS QD is 16; submit far more and let the retry path drain them.
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+    for i in 0..120u64 {
+        // Spread LBAs so nothing merges.
+        h.submit(w(i, i * 7, ReqFlags::NONE));
+    }
+    h.run();
+    assert_eq!(h.done.len(), 120);
+}
+
+#[test]
+fn barrier_epochs_survive_crash_in_order_preserving_mode() {
+    for seed_steps in 0..12usize {
+        let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+        h.layer.device_mut().record_history(true);
+        let mut id = 0;
+        for epoch in 0..5u64 {
+            for i in 0..3u64 {
+                let flags = if i == 2 {
+                    ReqFlags::BARRIER
+                } else {
+                    ReqFlags::ORDERED
+                };
+                h.submit(w(id, epoch * 16 + i, flags));
+                id += 1;
+            }
+        }
+        h.submit(BlockRequest::flush(ReqId(9999)));
+        h.run_steps(5 + seed_steps * 3);
+        let img = h.layer.device().crash_image();
+        let hist = h.layer.device().history().unwrap();
+        let violations = audit_epoch_order(hist, &img);
+        assert!(
+            violations.is_empty(),
+            "steps {seed_steps}: violations {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn legacy_mode_strips_barrier_semantics() {
+    // In legacy dispatch the barrier flag must not reach the device: the
+    // device cache sees a single epoch.
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::Legacy);
+    h.layer.device_mut().record_history(true);
+    h.submit(w(1, 0, ReqFlags::BARRIER));
+    h.submit(w(2, 10, ReqFlags::BARRIER));
+    h.run();
+    let hist = h.layer.device().history().unwrap();
+    assert!(
+        hist.iter().all(|t| t.epoch == 0),
+        "legacy mode must not advance device epochs: {hist:?}"
+    );
+}
+
+#[test]
+fn order_preserving_mode_advances_device_epochs() {
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+    h.layer.device_mut().record_history(true);
+    h.submit(w(1, 0, ReqFlags::BARRIER));
+    h.submit(w(2, 10, ReqFlags::BARRIER));
+    h.run();
+    let hist = h.layer.device().history().unwrap();
+    let epochs: Vec<u64> = hist.iter().map(|t| t.epoch).collect();
+    assert_eq!(epochs, vec![0, 1]);
+}
+
+#[test]
+fn flush_completes_after_drain() {
+    let mut h = Harness::new(DeviceProfile::ufs(), DispatchMode::OrderPreserving);
+    h.submit(w(1, 0, ReqFlags::NONE));
+    h.submit(BlockRequest::flush(ReqId(2)));
+    h.run();
+    let t_w = h.done.iter().find(|(id, _)| *id == ReqId(1)).unwrap().1;
+    let t_f = h.done.iter().find(|(id, _)| *id == ReqId(2)).unwrap().1;
+    assert!(t_f > t_w, "flush must complete after the write it drains");
+    assert_eq!(
+        h.layer.device().crash_image().tag(Lba(0)),
+        BlockTag(1001),
+        "flushed data is durable"
+    );
+}
+
+#[test]
+fn non_blocking_barrier_dispatch_fills_the_queue() {
+    // With order-preserving dispatch, barrier writes do not wait for each
+    // other at the host: the device queue depth should exceed 1 even though
+    // every write is a barrier (this is Fig 9 scenario B's mechanism).
+    let mut h = Harness::new(DeviceProfile::plain_ssd(), DispatchMode::OrderPreserving);
+    for i in 0..16u64 {
+        h.submit(w(i, i * 5, ReqFlags::BARRIER));
+    }
+    let peak = h
+        .layer
+        .device()
+        .qd_series()
+        .max_in(SimTime::ZERO, SimTime::from_secs(1));
+    assert!(peak >= 8.0, "barrier writes queued without waiting: {peak}");
+    h.run();
+    assert_eq!(h.done.len(), 16);
+}

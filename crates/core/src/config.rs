@@ -1,0 +1,135 @@
+//! Stack configuration: which filesystem, scheduler, dispatch mode and
+//! device make up one experiment cell.
+//!
+//! The paper's experiment matrix is spanned by presets:
+//!
+//! | Label | Preset | Meaning |
+//! |---|---|---|
+//! | EXT4-DR | [`StackConfig::ext4_dr`] | stock EXT4, durability guarantee |
+//! | EXT4-OD | [`StackConfig::ext4_od`] | EXT4 `nobarrier`, ordering only |
+//! | BFS-DR | [`StackConfig::bfs`] + `fsync` | BarrierFS, durability guarantee |
+//! | BFS-OD | [`StackConfig::bfs`] + `fbarrier` | BarrierFS, ordering only |
+//! | OptFS | [`StackConfig::optfs`] | osync-based ordering |
+
+use bio_block::{DispatchMode, SchedulerKind};
+use bio_flash::DeviceProfile;
+use bio_fs::{FsConfig, FsMode};
+use bio_sim::SimDuration;
+
+/// Complete configuration of one simulated IO stack.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Device parameters.
+    pub device: DeviceProfile,
+    /// Filesystem parameters.
+    pub fs: FsConfig,
+    /// Base IO scheduler (wrapped by the epoch scheduler).
+    pub scheduler: SchedulerKind,
+    /// Dispatch discipline.
+    pub dispatch: DispatchMode,
+    /// Master seed; every run with the same config and seed is identical.
+    pub seed: u64,
+    /// CPU cost charged per issued syscall (keeps zero-time loops honest).
+    pub cpu_per_op: SimDuration,
+    /// Block-layer congestion threshold (the kernel's `nr_requests`):
+    /// threads stall while more requests than this are queued.
+    pub congestion_limit: usize,
+    /// Record device transfer history for crash audits (memory-heavy).
+    pub record_history: bool,
+}
+
+impl StackConfig {
+    /// Stock EXT4 with full flush/FUA commits (EXT4-DR rows; on a
+    /// supercap device this is the "quick flush" variant).
+    pub fn ext4_dr(device: DeviceProfile) -> StackConfig {
+        StackConfig::base(device, FsMode::Ext4, DispatchMode::Legacy)
+    }
+
+    /// EXT4 mounted `nobarrier` (EXT4-OD rows): ordering by transfer
+    /// waits only, no flush anywhere.
+    pub fn ext4_od(device: DeviceProfile) -> StackConfig {
+        StackConfig::base(device, FsMode::Ext4NoBarrier, DispatchMode::Legacy)
+    }
+
+    /// BarrierFS over the order-preserving block layer. Use `fsync` for
+    /// BFS-DR and `fbarrier`/`fdatabarrier` for BFS-OD.
+    pub fn bfs(device: DeviceProfile) -> StackConfig {
+        StackConfig::base(device, FsMode::BarrierFs, DispatchMode::OrderPreserving)
+    }
+
+    /// OptFS-style optimistic crash consistency (osync).
+    pub fn optfs(device: DeviceProfile) -> StackConfig {
+        StackConfig::base(device, FsMode::OptFs, DispatchMode::Legacy)
+    }
+
+    fn base(device: DeviceProfile, mode: FsMode, dispatch: DispatchMode) -> StackConfig {
+        StackConfig {
+            device,
+            fs: FsConfig::new(mode),
+            scheduler: SchedulerKind::Elevator,
+            dispatch,
+            seed: 42,
+            cpu_per_op: SimDuration::from_micros(2),
+            congestion_limit: 128,
+            record_history: false,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> StackConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style history recording (needed before calling
+    /// crash-audit helpers).
+    pub fn with_history(mut self) -> StackConfig {
+        self.record_history = true;
+        self
+    }
+
+    /// Short label for reports ("EXT4@plain-SSD" etc.).
+    pub fn label(&self) -> String {
+        let fs = match self.fs.mode {
+            FsMode::Ext4 => "EXT4",
+            FsMode::Ext4NoBarrier => "EXT4-nobarrier",
+            FsMode::BarrierFs => "BarrierFS",
+            FsMode::OptFs => "OptFS",
+        };
+        format!("{fs}@{}", self.device.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_pick_matching_modes() {
+        let d = DeviceProfile::ufs();
+        assert_eq!(StackConfig::ext4_dr(d.clone()).fs.mode, FsMode::Ext4);
+        assert_eq!(
+            StackConfig::ext4_od(d.clone()).fs.mode,
+            FsMode::Ext4NoBarrier
+        );
+        let bfs = StackConfig::bfs(d.clone());
+        assert_eq!(bfs.fs.mode, FsMode::BarrierFs);
+        assert_eq!(bfs.dispatch, DispatchMode::OrderPreserving);
+        assert_eq!(StackConfig::optfs(d).dispatch, DispatchMode::Legacy);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        let c = StackConfig::bfs(DeviceProfile::plain_ssd());
+        assert_eq!(c.label(), "BarrierFS@plain-SSD");
+    }
+
+    #[test]
+    fn builders() {
+        let c = StackConfig::bfs(DeviceProfile::ufs())
+            .with_seed(7)
+            .with_history();
+        assert_eq!(c.seed, 7);
+        assert!(c.record_history);
+    }
+}

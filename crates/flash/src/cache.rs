@@ -1,0 +1,336 @@
+//! The device writeback cache.
+//!
+//! Entries are kept in *transfer order* (a monotonically increasing
+//! sequence number assigned as DMA completes) because every barrier
+//! enforcement scheme in §3.2 of the paper is defined over that order.
+//! Each entry carries the *epoch* it belongs to; the epoch counter
+//! advances when a barrier write is inserted, so "epoch n+1 must not
+//! persist before epoch n" is checkable directly on the entries.
+//!
+//! Crucially, entries for the same LBA in *different* epochs are kept as
+//! separate versions (no cross-epoch coalescing): collapsing them would
+//! let a later epoch's content replace an earlier epoch's while other
+//! earlier-epoch blocks are still volatile, silently breaking the barrier
+//! guarantee.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::types::{BlockTag, Lba};
+
+/// Destage lifecycle of one cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// In cache, not yet being written to flash.
+    Dirty,
+    /// A flash program for this entry is in flight.
+    Destaging,
+}
+
+/// One cached block version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Block address.
+    pub lba: Lba,
+    /// Content version.
+    pub tag: BlockTag,
+    /// Barrier epoch this version belongs to.
+    pub epoch: u64,
+    /// Destage state.
+    pub state: EntryState,
+}
+
+/// Transfer-ordered writeback cache with epoch accounting.
+#[derive(Debug, Clone, Default)]
+pub struct WritebackCache {
+    /// Entries in transfer order, keyed by transfer sequence number.
+    entries: BTreeMap<u64, CacheEntry>,
+    /// Latest (highest-seq) entry per LBA, for read hits and coalescing.
+    latest: HashMap<Lba, u64>,
+    capacity: usize,
+    current_epoch: u64,
+    next_seq: u64,
+}
+
+impl WritebackCache {
+    /// Creates a cache holding at most `capacity` block versions.
+    pub fn new(capacity: usize) -> WritebackCache {
+        WritebackCache {
+            entries: BTreeMap::new(),
+            latest: HashMap::new(),
+            capacity: capacity.max(1),
+            current_epoch: 0,
+            next_seq: 1,
+        }
+    }
+
+    /// Number of resident entries (dirty + destaging).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when at capacity; inserts must wait for a destage.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// The epoch new writes are tagged with.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Inserts one transferred block. If `barrier` is set the epoch counter
+    /// advances *after* the insert: the barrier write is the last member of
+    /// its epoch (§3.2).
+    ///
+    /// Same-epoch overwrites of a still-dirty entry coalesce in place;
+    /// anything else creates a new version. Returns the entry's transfer
+    /// sequence number.
+    pub fn insert(&mut self, lba: Lba, tag: BlockTag, barrier: bool) -> u64 {
+        let seq = if let Some(&prev_seq) = self.latest.get(&lba) {
+            let prev = self.entries[&prev_seq];
+            if prev.state == EntryState::Dirty && prev.epoch == self.current_epoch {
+                // Safe coalesce: same epoch, program not yet started.
+                self.entries.get_mut(&prev_seq).expect("entry exists").tag = tag;
+                prev_seq
+            } else {
+                self.push_new(lba, tag)
+            }
+        } else {
+            self.push_new(lba, tag)
+        };
+        if barrier {
+            self.current_epoch += 1;
+        }
+        seq
+    }
+
+    fn push_new(&mut self, lba: Lba, tag: BlockTag) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            seq,
+            CacheEntry {
+                lba,
+                tag,
+                epoch: self.current_epoch,
+                state: EntryState::Dirty,
+            },
+        );
+        self.latest.insert(lba, seq);
+        seq
+    }
+
+    /// Latest cached content for `lba` (read hit), if resident.
+    pub fn lookup(&self, lba: Lba) -> Option<BlockTag> {
+        self.latest.get(&lba).map(|seq| self.entries[seq].tag)
+    }
+
+    /// The entry at `seq`, if resident.
+    pub fn entry(&self, seq: u64) -> Option<&CacheEntry> {
+        self.entries.get(&seq)
+    }
+
+    /// Count of entries not yet being destaged.
+    pub fn dirty_count(&self) -> usize {
+        self.entries
+            .values()
+            .filter(|e| e.state == EntryState::Dirty)
+            .count()
+    }
+
+    /// The minimum epoch among resident entries, i.e. the epoch that must
+    /// finish persisting first under in-order writeback.
+    pub fn min_pending_epoch(&self) -> Option<u64> {
+        self.entries.values().map(|e| e.epoch).min()
+    }
+
+    /// Sequence numbers of every resident entry, in transfer order: the
+    /// snapshot a flush command must drain.
+    pub fn pending_seqs(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// Destage candidates in transfer order.
+    ///
+    /// `max_epoch` optionally gates candidates to epochs `<=` the bound
+    /// (used by the in-order writeback engine).
+    ///
+    /// With `lba_ordered` set, an entry is only eligible once every earlier
+    /// resident version of the same LBA has been programmed — required for
+    /// engines that write in place. A log-structured device (the paper's
+    /// UFS firmware) must NOT set it: the FTL appends strictly in transfer
+    /// order, and two versions of one LBA are simply two appends, so
+    /// holding the newer one back would reorder the append log and break
+    /// prefix recovery.
+    pub fn destage_candidates(&self, max_epoch: Option<u64>, lba_ordered: bool) -> Vec<u64> {
+        let mut seen: std::collections::HashSet<Lba> = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for (&seq, e) in &self.entries {
+            let first_for_lba = seen.insert(e.lba);
+            if lba_ordered && !first_for_lba {
+                continue;
+            }
+            if e.state != EntryState::Dirty {
+                continue;
+            }
+            if let Some(bound) = max_epoch {
+                if e.epoch > bound {
+                    continue;
+                }
+            }
+            out.push(seq);
+        }
+        out
+    }
+
+    /// Marks an entry as having a flash program in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is absent or already destaging.
+    pub fn mark_destaging(&mut self, seq: u64) {
+        let e = self.entries.get_mut(&seq).expect("unknown cache entry");
+        assert_eq!(e.state, EntryState::Dirty, "entry already destaging");
+        e.state = EntryState::Destaging;
+    }
+
+    /// Removes a fully programmed entry, freeing its slot. Returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is absent.
+    pub fn complete(&mut self, seq: u64) -> CacheEntry {
+        let e = self.entries.remove(&seq).expect("unknown cache entry");
+        if self.latest.get(&e.lba) == Some(&seq) {
+            self.latest.remove(&e.lba);
+        }
+        e
+    }
+
+    /// All resident entries in transfer order (used for PLP crash images).
+    pub fn entries_in_order(&self) -> impl Iterator<Item = (u64, &CacheEntry)> {
+        self.entries.iter().map(|(&s, e)| (s, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = WritebackCache::new(8);
+        c.insert(Lba(1), BlockTag(10), false);
+        assert_eq!(c.lookup(Lba(1)), Some(BlockTag(10)));
+        assert_eq!(c.lookup(Lba(2)), None);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_full());
+    }
+
+    #[test]
+    fn barrier_advances_epoch_after_insert() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true);
+        assert_eq!(c.entry(s1).unwrap().epoch, 0, "barrier write is in its own epoch");
+        assert_eq!(c.current_epoch(), 1);
+        let s2 = c.insert(Lba(2), BlockTag(2), false);
+        assert_eq!(c.entry(s2).unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn same_epoch_overwrite_coalesces() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), false);
+        let s2 = c.insert(Lba(1), BlockTag(2), false);
+        assert_eq!(s1, s2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(Lba(1)), Some(BlockTag(2)));
+    }
+
+    #[test]
+    fn cross_epoch_overwrite_keeps_versions() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true); // epoch 0, barrier
+        let s2 = c.insert(Lba(1), BlockTag(2), false); // epoch 1
+        assert_ne!(s1, s2);
+        assert_eq!(c.len(), 2);
+        // Reads see the newest version.
+        assert_eq!(c.lookup(Lba(1)), Some(BlockTag(2)));
+    }
+
+    #[test]
+    fn destaging_entry_does_not_coalesce() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), false);
+        c.mark_destaging(s1);
+        let s2 = c.insert(Lba(1), BlockTag(2), false);
+        assert_ne!(s1, s2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn candidates_respect_per_lba_order() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true); // epoch 0
+        let s2 = c.insert(Lba(1), BlockTag(2), false); // epoch 1, same LBA
+        let s3 = c.insert(Lba(2), BlockTag(3), false); // epoch 1
+        let cands = c.destage_candidates(None, true);
+        assert_eq!(cands, vec![s1, s3], "second version of lba 1 must wait");
+        // After the first version completes, the second becomes eligible.
+        c.mark_destaging(s1);
+        c.complete(s1);
+        assert_eq!(c.destage_candidates(None, true), vec![s2, s3]);
+    }
+
+    #[test]
+    fn candidates_respect_epoch_bound() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true); // epoch 0
+        let _s2 = c.insert(Lba(2), BlockTag(2), false); // epoch 1
+        assert_eq!(c.destage_candidates(Some(0), true), vec![s1]);
+        assert_eq!(c.min_pending_epoch(), Some(0));
+    }
+
+    #[test]
+    fn complete_frees_capacity() {
+        let mut c = WritebackCache::new(1);
+        let s1 = c.insert(Lba(1), BlockTag(1), false);
+        assert!(c.is_full());
+        c.mark_destaging(s1);
+        let e = c.complete(s1);
+        assert_eq!(e.tag, BlockTag(1));
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(Lba(1)), None);
+    }
+
+    #[test]
+    fn complete_older_version_keeps_latest_lookup() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true);
+        let _s2 = c.insert(Lba(1), BlockTag(2), false);
+        c.mark_destaging(s1);
+        c.complete(s1);
+        assert_eq!(c.lookup(Lba(1)), Some(BlockTag(2)));
+    }
+
+    #[test]
+    fn pending_seqs_in_order() {
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true);
+        let s2 = c.insert(Lba(2), BlockTag(2), true);
+        let s3 = c.insert(Lba(3), BlockTag(3), false);
+        assert_eq!(c.pending_seqs(), vec![s1, s2, s3]);
+        assert_eq!(c.dirty_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cache entry")]
+    fn complete_unknown_panics() {
+        WritebackCache::new(4).complete(99);
+    }
+}

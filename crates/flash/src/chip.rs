@@ -1,0 +1,193 @@
+//! Flash chip array: models `channels × ways` independently busy flash
+//! dies. Each die services one program/read/erase at a time; the array is
+//! the source of the device's internal parallelism (§1 of the paper: the
+//! multi-channel/way controller is what transfer-and-flush fails to keep
+//! busy).
+
+use bio_sim::{SimDuration, SimRng, SimTime};
+
+/// The array of flash dies. Index = `channel * ways + way`.
+#[derive(Debug, Clone)]
+pub struct ChipArray {
+    busy_until: Vec<SimTime>,
+    /// Round-robin cursor for spreading work over idle dies.
+    cursor: usize,
+    /// Total busy time accumulated, for utilisation reporting.
+    busy_ns: u128,
+}
+
+impl ChipArray {
+    /// Creates `n` idle dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> ChipArray {
+        assert!(n > 0, "chip array needs at least one die");
+        ChipArray {
+            busy_until: vec![SimTime::ZERO; n],
+            cursor: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Number of dies.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Always false; the constructor enforces at least one die.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Finds an idle die at `now`, preferring round-robin fairness.
+    /// Returns `None` when all dies are busy.
+    pub fn find_idle(&mut self, now: SimTime) -> Option<usize> {
+        let n = self.busy_until.len();
+        for i in 0..n {
+            let c = (self.cursor + i) % n;
+            if self.busy_until[c] <= now {
+                self.cursor = (c + 1) % n;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Number of dies idle at `now`.
+    pub fn idle_count(&self, now: SimTime) -> usize {
+        self.busy_until.iter().filter(|&&t| t <= now).count()
+    }
+
+    /// Occupies die `chip` for `dur` starting at `now`, returning the
+    /// completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the die is still busy at `now`.
+    pub fn start_op(&mut self, chip: usize, now: SimTime, dur: SimDuration) -> SimTime {
+        debug_assert!(
+            self.busy_until[chip] <= now,
+            "die {chip} is busy until {}",
+            self.busy_until[chip]
+        );
+        let done = now + dur;
+        self.busy_until[chip] = done;
+        self.busy_ns += dur.as_nanos() as u128;
+        done
+    }
+
+    /// Adds `dur` of busy time to *every* die (used to model a synchronous
+    /// GC sweep stealing the whole array).
+    pub fn delay_all(&mut self, now: SimTime, dur: SimDuration) {
+        for b in &mut self.busy_until {
+            let start = (*b).max(now);
+            *b = start + dur;
+        }
+        self.busy_ns += (dur.as_nanos() as u128) * self.busy_until.len() as u128;
+    }
+
+    /// Earliest time any die becomes idle.
+    pub fn next_idle_at(&self) -> SimTime {
+        *self.busy_until.iter().min().expect("non-empty array")
+    }
+
+    /// Jittered duration for one operation: normal noise around `base` with
+    /// the profile's relative stddev, clamped to ±3σ and never below a
+    /// quarter of the base.
+    pub fn jittered(base: SimDuration, rel_stddev: f64, rng: &mut SimRng) -> SimDuration {
+        if rel_stddev <= 0.0 {
+            return base;
+        }
+        let b = base.as_nanos() as f64;
+        let raw = rng.normal(b, b * rel_stddev);
+        let clamped = raw.clamp(b * 0.25, b * (1.0 + 3.0 * rel_stddev));
+        SimDuration::from_nanos(clamped as u64)
+    }
+
+    /// Total die-busy nanoseconds accumulated so far.
+    pub fn total_busy_ns(&self) -> u128 {
+        self.busy_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn finds_idle_round_robin() {
+        let mut a = ChipArray::new(3);
+        let t = SimTime::ZERO;
+        assert_eq!(a.find_idle(t), Some(0));
+        a.start_op(0, t, SimDuration::from_micros(100));
+        assert_eq!(a.find_idle(t), Some(1));
+        a.start_op(1, t, SimDuration::from_micros(100));
+        assert_eq!(a.find_idle(t), Some(2));
+        a.start_op(2, t, SimDuration::from_micros(100));
+        assert_eq!(a.find_idle(t), None);
+        assert_eq!(a.idle_count(t), 0);
+    }
+
+    #[test]
+    fn ops_complete_and_free_die() {
+        let mut a = ChipArray::new(1);
+        let done = a.start_op(0, us(10), SimDuration::from_micros(5));
+        assert_eq!(done, us(15));
+        assert_eq!(a.find_idle(us(14)), None);
+        assert_eq!(a.find_idle(us(15)), Some(0));
+    }
+
+    #[test]
+    fn delay_all_pushes_busy_time() {
+        let mut a = ChipArray::new(2);
+        a.start_op(0, us(0), SimDuration::from_micros(10));
+        a.delay_all(us(0), SimDuration::from_micros(20));
+        // die 0: busy till 10, +20 = 30. die 1: idle, 0+20 = 20.
+        assert_eq!(a.find_idle(us(19)), None);
+        assert_eq!(a.find_idle(us(20)), Some(1));
+        assert_eq!(a.find_idle(us(29)), Some(1));
+        assert!(a.idle_count(us(30)) == 2);
+    }
+
+    #[test]
+    fn next_idle_is_min() {
+        let mut a = ChipArray::new(2);
+        a.start_op(0, us(0), SimDuration::from_micros(30));
+        a.start_op(1, us(0), SimDuration::from_micros(10));
+        assert_eq!(a.next_idle_at(), us(10));
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut rng1 = SimRng::new(1);
+        let mut rng2 = SimRng::new(1);
+        let base = SimDuration::from_micros(1000);
+        for _ in 0..500 {
+            let d1 = ChipArray::jittered(base, 0.2, &mut rng1);
+            let d2 = ChipArray::jittered(base, 0.2, &mut rng2);
+            assert_eq!(d1, d2);
+            assert!(d1 >= base.mul_f64(0.25));
+            assert!(d1 <= base.mul_f64(1.6 + 1e-9));
+        }
+        assert_eq!(ChipArray::jittered(base, 0.0, &mut rng1), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one die")]
+    fn zero_dies_rejected() {
+        ChipArray::new(0);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut a = ChipArray::new(1);
+        a.start_op(0, us(0), SimDuration::from_micros(7));
+        assert_eq!(a.total_busy_ns(), 7_000);
+    }
+}

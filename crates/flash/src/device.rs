@@ -1,0 +1,750 @@
+//! The barrier-compliant storage device: command queue, host link,
+//! writeback cache, FTL, chip array and crash semantics in one event-driven
+//! state machine.
+//!
+//! The device is a Mealy machine: the host calls [`Device::submit`] /
+//! [`Device::handle`], and the device answers with [`DevAction`]s — either
+//! completion interrupts for the host or timed internal events the caller
+//! must schedule back into the simulation. This keeps the device free of
+//! any dependency on the event loop and directly unit-testable.
+//!
+//! ## Command flow
+//!
+//! ```text
+//! submit → [queue: SCSI priority pick] → (preflush?) → DMA over link
+//!        → writeback cache insert (epoch-tagged)  → completion IRQ
+//!        → background destage → flash program on a chip → durable
+//! ```
+//!
+//! A flush drains the cache entries present at its service start; a FUA
+//! write completes only when its own program finishes; a barrier write
+//! closes the current epoch. How epochs constrain destaging is decided by
+//! the profile's [`BarrierMode`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use bio_sim::{SimDuration, SimRng, SimTime, TimeSeries};
+
+use crate::cache::WritebackCache;
+use crate::chip::ChipArray;
+use crate::ftl::Ftl;
+use crate::profile::{BarrierMode, DeviceProfile};
+use crate::queue::CommandQueue;
+use crate::recovery::{AppendLog, PersistedImage, TransferRec};
+use crate::types::{CmdId, CmdKind, Command, Completion};
+
+/// Internal device events; the host event loop schedules these back via
+/// [`Device::handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevEvent {
+    /// A DMA transfer finished on the host link.
+    DmaDone {
+        /// The command whose transfer finished.
+        id: CmdId,
+    },
+    /// A flash program finished on a chip.
+    ProgramDone {
+        /// Cache sequence of the destaged entry.
+        seq: u64,
+        /// Chip that ran the program.
+        chip: usize,
+    },
+    /// Delayed completion (flush round-trip overhead).
+    Finish {
+        /// The command to complete.
+        id: CmdId,
+    },
+    /// A write's preflush finished (drain + controller round trip).
+    PreflushDone {
+        /// The write command whose preflush completed.
+        id: CmdId,
+    },
+    /// Re-run the service/destage pumps (chips became idle).
+    Pump,
+}
+
+/// What the device asks of its caller after processing an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevAction {
+    /// Deliver a completion interrupt to the host.
+    Complete(Completion),
+    /// Schedule an internal event after a delay.
+    After(SimDuration, DevEvent),
+}
+
+/// Why a drain (pending-program set) exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DrainKind {
+    /// A flush command: complete the command when drained.
+    Flush,
+    /// The preflush half of a `FLUSH|FUA` write: move the write to the
+    /// link when drained.
+    Preflush,
+    /// A FUA write: complete the command once its own blocks are
+    /// programmed.
+    Fua,
+}
+
+#[derive(Debug)]
+struct Drain {
+    id: CmdId,
+    remaining: HashSet<u64>,
+    kind: DrainKind,
+}
+
+/// Progress of an admitted command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for the preflush drain.
+    Preflush,
+    /// Drained (or no preflush needed); waiting for the link.
+    WaitLink,
+    /// DMA in flight.
+    Dma,
+    /// DMA done but the cache is full; waiting for space.
+    WaitCache,
+    /// FUA write waiting for its own program.
+    WaitFua,
+    /// Flush command draining.
+    Draining,
+}
+
+#[derive(Debug)]
+struct ActiveCmd {
+    cmd: Command,
+    stage: Stage,
+    /// When the command entered service consideration; commands that
+    /// waited (queue fence or busy link) had time to decode in parallel.
+    arrived: SimTime,
+}
+
+/// Extra bookkeeping per in-flight destage program.
+#[derive(Debug, Clone, Copy)]
+struct DestageInfo {
+    append_seq: u64,
+}
+
+/// Transactional-writeback engine state.
+#[derive(Debug, Default)]
+struct TransState {
+    open: Option<(u64, HashSet<u64>)>,
+    next_gid: u64,
+    committed: HashSet<u64>,
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeviceStats {
+    /// Write commands completed.
+    pub write_cmds: u64,
+    /// Read commands completed.
+    pub read_cmds: u64,
+    /// Flush commands completed.
+    pub flush_cmds: u64,
+    /// 4 KiB blocks written by the host.
+    pub blocks_written: u64,
+    /// Flash programs issued (host destage only; GC is counted by the FTL).
+    pub programs: u64,
+    /// Read commands served from the writeback cache.
+    pub cache_hit_reads: u64,
+    /// Commands that bounced because the queue was full.
+    pub queue_full_rejections: u64,
+}
+
+/// The simulated storage device.
+#[derive(Debug)]
+pub struct Device {
+    profile: DeviceProfile,
+    rng: SimRng,
+    queue: CommandQueue,
+    cache: WritebackCache,
+    ftl: Ftl,
+    chips: ChipArray,
+    log: AppendLog,
+
+    /// The host link is busy transferring until this instant; queued
+    /// commands pipeline their decode with the previous transfer, so only
+    /// a link that is *idle* at pick time charges the per-command
+    /// overhead (this is why deep queues hide latency — §6.2).
+    link_free_at: SimTime,
+    ready_for_link: VecDeque<CmdId>,
+    active: HashMap<CmdId, ActiveCmd>,
+    drains: Vec<Drain>,
+    /// FIFO of DMA-completed writes awaiting cache insertion. Strict FIFO:
+    /// inserts must happen in transfer order or epoch tagging would break,
+    /// so one blocked insert blocks everything behind it.
+    pending_inserts: VecDeque<CmdId>,
+    destage_info: HashMap<u64, DestageInfo>,
+    in_flight_programs: usize,
+    trans: TransState,
+
+    /// Admission times, for the decode-overlap rule.
+    admit_times: HashMap<CmdId, SimTime>,
+    history: Option<Vec<TransferRec>>,
+    qd_series: TimeSeries,
+    stats: DeviceStats,
+    next_pump_at: Option<SimTime>,
+}
+
+impl Device {
+    /// Builds a device from a profile; `seed` drives all device-internal
+    /// randomness (program jitter, orderless destage picking).
+    pub fn new(profile: DeviceProfile, seed: u64) -> Device {
+        profile.validate();
+        Device {
+            queue: CommandQueue::new(profile.queue_depth),
+            cache: WritebackCache::new(profile.cache_blocks),
+            ftl: Ftl::new(
+                profile.segments,
+                profile.pages_per_segment,
+                profile.gc_low_watermark,
+            ),
+            chips: ChipArray::new(profile.parallelism()),
+            log: AppendLog::new(),
+            rng: SimRng::new(seed),
+            link_free_at: SimTime::ZERO,
+            ready_for_link: VecDeque::new(),
+            active: HashMap::new(),
+            drains: Vec::new(),
+            pending_inserts: VecDeque::new(),
+            destage_info: HashMap::new(),
+            in_flight_programs: 0,
+            trans: TransState::default(),
+            admit_times: HashMap::new(),
+            history: None,
+            qd_series: TimeSeries::new(),
+            stats: DeviceStats::default(),
+            next_pump_at: None,
+            profile,
+        }
+    }
+
+    /// Enables transfer-history recording (needed by the crash audits;
+    /// costs memory proportional to the number of transfers).
+    pub fn record_history(&mut self, on: bool) {
+        self.history = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Current command-queue occupancy (waiting + in service).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.occupancy()
+    }
+
+    /// True when another command can be admitted.
+    pub fn can_accept(&self) -> bool {
+        self.queue.has_room()
+    }
+
+    /// Queue-depth time series (Fig 10 / Fig 12 instrumentation).
+    pub fn qd_series(&self) -> &TimeSeries {
+        &self.qd_series
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// FTL statistics (GC, write amplification).
+    pub fn ftl_stats(&self) -> crate::ftl::FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Number of dirty cache entries.
+    pub fn dirty_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The transfer history, when recording is enabled.
+    pub fn history(&self) -> Option<&[TransferRec]> {
+        self.history.as_deref()
+    }
+
+    /// Submits a command. Returns the command back when the queue is full
+    /// (the host's dispatch layer must retry — Fig 6(b)).
+    pub fn submit(
+        &mut self,
+        cmd: Command,
+        now: SimTime,
+        out: &mut Vec<DevAction>,
+    ) -> Result<(), Command> {
+        let id = cmd.id;
+        match self.queue.admit(cmd) {
+            Ok(()) => {
+                self.admit_times.insert(id, now);
+                self.sample_qd(now);
+                self.pump(now, out);
+                Ok(())
+            }
+            Err(cmd) => {
+                self.stats.queue_full_rejections += 1;
+                Err(cmd)
+            }
+        }
+    }
+
+    /// Processes an internal event previously emitted as
+    /// [`DevAction::After`].
+    pub fn handle(&mut self, ev: DevEvent, now: SimTime, out: &mut Vec<DevAction>) {
+        match ev {
+            DevEvent::DmaDone { id } => self.on_dma_done(id, now, out),
+            DevEvent::ProgramDone { seq, chip } => self.on_program_done(seq, chip, now, out),
+            DevEvent::Finish { id } => {
+                self.complete_cmd(id, now, out);
+                self.pump(now, out);
+            }
+            DevEvent::PreflushDone { id } => {
+                self.active.get_mut(&id).expect("active").stage = Stage::WaitLink;
+                self.ready_for_link.push_back(id);
+                self.pump(now, out);
+            }
+            DevEvent::Pump => {
+                self.next_pump_at = None;
+                self.pump(now, out);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service pump: picks commands off the queue and drives their stages.
+    // ------------------------------------------------------------------
+
+    fn pump(&mut self, now: SimTime, out: &mut Vec<DevAction>) {
+        loop {
+            if let Some(id) = self.ready_for_link.pop_front() {
+                self.start_dma(id, now, out);
+                continue;
+            }
+            let Some(cmd) = self.queue.pick() else { break };
+            self.begin_service(cmd, now, out);
+        }
+        self.destage_pump(now, out);
+    }
+
+    fn begin_service(&mut self, cmd: Command, now: SimTime, out: &mut Vec<DevAction>) {
+        let id = cmd.id;
+        let arrived = self.admit_times.remove(&id).unwrap_or(now);
+        let _ = now;
+        match &cmd.kind {
+            CmdKind::Flush => {
+                self.active.insert(
+                    id,
+                    ActiveCmd {
+                        cmd,
+                        stage: Stage::Draining,
+                        arrived,
+                    },
+                );
+                let remaining: HashSet<u64> = if self.profile.plp {
+                    HashSet::new() // PLP: cache contents already durable
+                } else {
+                    self.cache.pending_seqs().into_iter().collect()
+                };
+                if remaining.is_empty() {
+                    out.push(DevAction::After(
+                        self.profile.flush_overhead,
+                        DevEvent::Finish { id },
+                    ));
+                } else {
+                    self.drains.push(Drain {
+                        id,
+                        remaining,
+                        kind: DrainKind::Flush,
+                    });
+                }
+            }
+            CmdKind::Write { flags, .. } => {
+                let needs_preflush = flags.flush_before;
+                if needs_preflush {
+                    // PLP: nothing to drain, but the flush round trip is
+                    // still paid (t_eps of the paper's quick-flush).
+                    let remaining: HashSet<u64> = if self.profile.plp {
+                        HashSet::new()
+                    } else {
+                        self.cache.pending_seqs().into_iter().collect()
+                    };
+                    if remaining.is_empty() {
+                        // Even an empty preflush costs the controller
+                        // round trip, like an explicit flush.
+                        self.active.insert(
+                            id,
+                            ActiveCmd {
+                                cmd,
+                                stage: Stage::Preflush,
+                                arrived,
+                            },
+                        );
+                        out.push(DevAction::After(
+                            self.profile.flush_overhead,
+                            DevEvent::PreflushDone { id },
+                        ));
+                    } else {
+                        self.active.insert(
+                            id,
+                            ActiveCmd {
+                                cmd,
+                                stage: Stage::Preflush,
+                                arrived,
+                            },
+                        );
+                        self.drains.push(Drain {
+                            id,
+                            remaining,
+                            kind: DrainKind::Preflush,
+                        });
+                    }
+                } else {
+                    self.active.insert(
+                        id,
+                        ActiveCmd {
+                            cmd,
+                            stage: Stage::WaitLink,
+                            arrived,
+                        },
+                    );
+                    self.ready_for_link.push_back(id);
+                }
+            }
+            CmdKind::Read { .. } => {
+                self.active.insert(
+                    id,
+                    ActiveCmd {
+                        cmd,
+                        stage: Stage::WaitLink,
+                        arrived,
+                    },
+                );
+                self.ready_for_link.push_back(id);
+            }
+        }
+    }
+
+    fn start_dma(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
+        let active = self.active.get_mut(&id).expect("active command");
+        active.stage = Stage::Dma;
+        let blocks = active.cmd.kind.blocks().max(1);
+        let mut dur = self.profile.dma_per_block * blocks;
+        // Command decode/setup pipelines with the previous transfer; it is
+        // only exposed when the command never waited (idle link and no
+        // queueing) — the Wait-on-Transfer regime of §6.2.
+        let never_waited = active.arrived >= now && self.link_free_at <= now;
+        if never_waited {
+            dur += self.profile.cmd_overhead;
+        }
+        match &active.cmd.kind {
+            CmdKind::Write { flags, .. } => {
+                if flags.barrier {
+                    dur = dur.mul_f64(self.profile.barrier_overhead.factor());
+                }
+            }
+            CmdKind::Read { start, .. } => {
+                // Cache hit serves straight from DRAM; a miss pays one flash
+                // read (read-ahead covers the rest of the span).
+                if self.cache.lookup(*start).is_some() {
+                    self.stats.cache_hit_reads += 1;
+                } else {
+                    dur += self.profile.page_read;
+                }
+            }
+            CmdKind::Flush => unreachable!("flush never uses the link"),
+        }
+        let done = self.link_free_at.max(now) + dur;
+        self.link_free_at = done;
+        out.push(DevAction::After(
+            done.saturating_since(now),
+            DevEvent::DmaDone { id },
+        ));
+    }
+
+    fn on_dma_done(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
+        let active = self.active.get_mut(&id).expect("active command");
+        match &active.cmd.kind {
+            CmdKind::Read { .. } => {
+                self.stats.read_cmds += 1;
+                self.complete_cmd(id, now, out);
+            }
+            CmdKind::Write { .. } => {
+                // Cache insertion happens strictly in transfer order;
+                // capacity backpressure queues the command (and everything
+                // behind it) until programs free space.
+                self.active.get_mut(&id).expect("active").stage = Stage::WaitCache;
+                self.pending_inserts.push_back(id);
+                self.drain_pending_inserts(now, out);
+            }
+            CmdKind::Flush => unreachable!("flush never uses the link"),
+        }
+        self.pump(now, out);
+    }
+
+    /// Admits DMA-completed writes into the cache in transfer order, as
+    /// long as each fits (FUA writes always fit: they do not occupy a
+    /// long-term slot).
+    fn drain_pending_inserts(&mut self, now: SimTime, out: &mut Vec<DevAction>) {
+        while let Some(&id) = self.pending_inserts.front() {
+            let (blocks, fua) = {
+                let a = &self.active[&id];
+                match &a.cmd.kind {
+                    CmdKind::Write { tags, flags, .. } => {
+                        (tags.len(), flags.fua && !self.profile.plp)
+                    }
+                    _ => unreachable!("only writes queue for insertion"),
+                }
+            };
+            if !fua && self.cache.len() + blocks > self.profile.cache_blocks {
+                break; // wait for programs to free space
+            }
+            self.pending_inserts.pop_front();
+            let seqs = self.insert_blocks(id);
+            if fua {
+                self.active.get_mut(&id).expect("active").stage = Stage::WaitFua;
+                self.drains.push(Drain {
+                    id,
+                    remaining: seqs.into_iter().collect(),
+                    kind: DrainKind::Fua,
+                });
+            } else {
+                self.stats.write_cmds += 1;
+                self.complete_cmd(id, now, out);
+            }
+        }
+    }
+
+    /// Inserts a write command's blocks into the cache in transfer order,
+    /// honouring the barrier flag on the final block. Returns the cache
+    /// sequences of the inserted blocks.
+    fn insert_blocks(&mut self, id: CmdId) -> Vec<u64> {
+        let (start, tags, flags) = match &self.active[&id].cmd.kind {
+            CmdKind::Write { start, tags, flags } => (*start, tags.clone(), *flags),
+            _ => unreachable!("insert_blocks on non-write"),
+        };
+        let n = tags.len();
+        let mut seqs = Vec::with_capacity(n);
+        for (i, tag) in tags.into_iter().enumerate() {
+            let lba = start.offset(i as u64);
+            let barrier = flags.barrier && i + 1 == n;
+            let seq = self.cache.insert(lba, tag, barrier);
+            seqs.push(seq);
+            self.stats.blocks_written += 1;
+            if let Some(h) = self.history.as_mut() {
+                let epoch = self.cache.entry(seq).expect("just inserted").epoch;
+                h.push(TransferRec {
+                    seq,
+                    lba,
+                    tag,
+                    epoch,
+                });
+            }
+        }
+        seqs
+    }
+
+    // ------------------------------------------------------------------
+    // Destage pump: moves cache entries to flash under the barrier engine.
+    // ------------------------------------------------------------------
+
+    fn destage_wanted(&self) -> bool {
+        if self.cache.is_empty() {
+            return false;
+        }
+        let drain_active = !self.drains.is_empty();
+        let waiters = !self.pending_inserts.is_empty();
+        let over_watermark = self.cache.dirty_count() as f64
+            > self.profile.destage_watermark * self.profile.cache_blocks as f64;
+        let open_group = self.trans.open.is_some();
+        drain_active || waiters || over_watermark || open_group
+    }
+
+    fn destage_pump(&mut self, now: SimTime, out: &mut Vec<DevAction>) {
+        if !self.destage_wanted() {
+            return;
+        }
+        let engine = self.profile.barrier_mode;
+        // Transactional engine: open a group snapshot if none is open.
+        if engine == BarrierMode::Transactional && self.trans.open.is_none() {
+            let members: HashSet<u64> = self.cache.pending_seqs().into_iter().collect();
+            if !members.is_empty() {
+                let gid = self.trans.next_gid;
+                self.trans.next_gid += 1;
+                self.trans.open = Some((gid, members));
+            }
+        }
+        let epoch_bound = match engine {
+            BarrierMode::InOrderWriteback => self.cache.min_pending_epoch(),
+            _ => None,
+        };
+        // Log-structured recovery appends strictly in transfer order (the
+        // paper's §3.2 firmware); in-place engines must serialise per-LBA.
+        let lba_ordered = engine != BarrierMode::LfsInOrderRecovery;
+        let mut candidates = self.cache.destage_candidates(epoch_bound, lba_ordered);
+        if let Some((_, members)) = &self.trans.open {
+            candidates.retain(|s| members.contains(s));
+        }
+        if engine == BarrierMode::Unsupported && candidates.len() > 1 {
+            // Orderless controller: no ordering promise, pick within a
+            // parallelism-sized window at random.
+            let w = candidates.len().min(self.profile.parallelism().max(2));
+            let head: &mut [u64] = &mut candidates[..w];
+            self.rng.shuffle(head);
+        }
+        for seq in candidates {
+            // Roll/GC first so the time cost lands before chip selection.
+            if let Some(gc) = self.ftl.prepare_append() {
+                let per_page = self.profile.page_read + self.profile.page_program;
+                let pause = per_page * (gc.moved_pages as u64)
+                    / (self.profile.parallelism() as u64)
+                    + self.profile.segment_erase;
+                self.chips.delay_all(now, pause);
+            }
+            let Some(chip) = self.chips.find_idle(now) else {
+                break;
+            };
+            self.cache.mark_destaging(seq);
+            let entry = *self.cache.entry(seq).expect("marked entry");
+            self.ftl.append(entry.lba, entry.tag);
+            let group = self.trans.open.as_ref().map(|(g, _)| *g);
+            let append_seq = self.log.begin(entry.lba, entry.tag, group);
+            self.destage_info.insert(seq, DestageInfo { append_seq });
+            let dur = ChipArray::jittered(
+                self.profile.page_program,
+                self.profile.program_jitter,
+                &mut self.rng,
+            );
+            self.chips.start_op(chip, now, dur);
+            self.in_flight_programs += 1;
+            self.stats.programs += 1;
+            out.push(DevAction::After(dur, DevEvent::ProgramDone { seq, chip }));
+        }
+        // If work remains but every chip is busy and nothing is in flight
+        // (GC blanket delay), schedule a wake-up at the next idle instant.
+        if self.destage_wanted() && self.in_flight_programs == 0 {
+            let at = self.chips.next_idle_at().max(now);
+            if self.next_pump_at != Some(at) {
+                self.next_pump_at = Some(at);
+                out.push(DevAction::After(at.saturating_since(now), DevEvent::Pump));
+            }
+        }
+    }
+
+    fn on_program_done(&mut self, seq: u64, _chip: usize, now: SimTime, out: &mut Vec<DevAction>) {
+        self.in_flight_programs -= 1;
+        let _entry = self.cache.complete(seq);
+        let info = self
+            .destage_info
+            .remove(&seq)
+            .expect("program for unknown destage");
+        self.log.mark_done(info.append_seq);
+
+        // Transactional group accounting.
+        let mut group_committed = false;
+        if let Some((gid, members)) = self.trans.open.as_mut() {
+            members.remove(&seq);
+            if members.is_empty() {
+                self.trans.committed.insert(*gid);
+                group_committed = true;
+            }
+        }
+        if group_committed {
+            self.trans.open = None;
+        }
+        let committed = &self.trans.committed;
+        self.log.fold(|g| committed.contains(&g));
+
+        let _ = info;
+
+        // Drain accounting (flushes, preflushes, FUA writes).
+        let mut finished: Vec<(CmdId, DrainKind)> = Vec::new();
+        self.drains.retain_mut(|d| {
+            d.remaining.remove(&seq);
+            if d.remaining.is_empty() {
+                finished.push((d.id, d.kind));
+                false
+            } else {
+                true
+            }
+        });
+        for (id, kind) in finished {
+            match kind {
+                DrainKind::Flush => {
+                    out.push(DevAction::After(
+                        self.profile.flush_overhead,
+                        DevEvent::Finish { id },
+                    ));
+                }
+                DrainKind::Preflush => {
+                    // Drained: pay the controller round trip before the
+                    // write proceeds to the link.
+                    out.push(DevAction::After(
+                        self.profile.flush_overhead,
+                        DevEvent::PreflushDone { id },
+                    ));
+                }
+                DrainKind::Fua => {
+                    self.stats.write_cmds += 1;
+                    self.complete_cmd(id, now, out);
+                }
+            }
+        }
+
+        // Cache space freed: admit waiting writes in transfer order.
+        self.drain_pending_inserts(now, out);
+
+        self.pump(now, out);
+    }
+
+    fn complete_cmd(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
+        let active = self.active.remove(&id).expect("completing unknown command");
+        if matches!(active.cmd.kind, CmdKind::Flush) {
+            self.stats.flush_cmds += 1;
+        }
+        self.queue.complete(id);
+        self.sample_qd(now);
+        out.push(DevAction::Complete(Completion { id, at: now }));
+    }
+
+    fn sample_qd(&mut self, now: SimTime) {
+        self.qd_series.record(now, self.queue.occupancy() as f64);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash semantics.
+    // ------------------------------------------------------------------
+
+    /// Computes the storage-surface contents if power were lost right now,
+    /// under the profile's barrier mode (§3.2's enforcement options).
+    pub fn crash_image(&self) -> PersistedImage {
+        if self.profile.plp {
+            // Supercap: everything transferred is durable.
+            let mut img = self.log.image(|_| true, false);
+            img.overlay(
+                self.cache
+                    .entries_in_order()
+                    .map(|(_, e)| (e.lba, e.tag)),
+            );
+            return img;
+        }
+        match self.profile.barrier_mode {
+            BarrierMode::LfsInOrderRecovery => self.log.image(|r| r.done, true),
+            BarrierMode::Transactional => {
+                let committed = self.trans.committed.clone();
+                self.log
+                    .image(move |r| r.done && r.group.is_none_or(|g| committed.contains(&g)), false)
+            }
+            BarrierMode::InOrderWriteback | BarrierMode::Unsupported => {
+                self.log.image(|r| r.done, false)
+            }
+        }
+    }
+
+    /// The durable state with *no* crash: cache fully drained (used to
+    /// validate end-of-run content).
+    pub fn final_image(&self) -> PersistedImage {
+        let mut img = self.log.image(|_| true, false);
+        img.overlay(self.cache.entries_in_order().map(|(_, e)| (e.lba, e.tag)));
+        img
+    }
+}

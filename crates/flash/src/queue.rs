@@ -1,0 +1,276 @@
+//! The device command queue with SCSI priority semantics (§3.4).
+//!
+//! Order-preserving dispatch relies on the device honouring three priority
+//! classes when it picks the next command to service:
+//!
+//! * a **head-of-queue** command is serviced before anything else waiting;
+//! * an **ordered** command is a fence — it is serviced only after every
+//!   earlier-arrived command has *completed*, and no later-arrived command
+//!   may start before it;
+//! * a **simple** command may be freely reordered, but never across an
+//!   incomplete ordered command that arrived before it.
+//!
+//! Completion (not just service start) is what releases a fence, mirroring
+//! the SCSI ordered-tag definition.
+
+use std::collections::HashMap;
+
+use crate::types::{CmdId, Command, Priority};
+
+/// A depth-bounded command queue tracking waiting and in-service commands.
+#[derive(Debug, Default)]
+pub struct CommandQueue {
+    waiting: Vec<(u64, Command)>,
+    /// arrival-seq -> priority of commands picked but not yet completed.
+    in_service: HashMap<u64, (CmdId, Priority)>,
+    depth: usize,
+    next_arrival: u64,
+    /// Peak occupancy, for reporting.
+    peak: usize,
+}
+
+impl CommandQueue {
+    /// Creates a queue admitting at most `depth` commands (waiting plus
+    /// in-service), matching the device's advertised queue depth.
+    pub fn new(depth: usize) -> CommandQueue {
+        CommandQueue {
+            waiting: Vec::new(),
+            in_service: HashMap::new(),
+            depth: depth.max(1),
+            next_arrival: 0,
+            peak: 0,
+        }
+    }
+
+    /// Commands currently occupying queue slots (waiting + in service).
+    pub fn occupancy(&self) -> usize {
+        self.waiting.len() + self.in_service.len()
+    }
+
+    /// Commands waiting to be picked.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Highest occupancy seen.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// True when another command can be admitted.
+    pub fn has_room(&self) -> bool {
+        self.occupancy() < self.depth
+    }
+
+    /// Admits a command, or returns it when the queue is full (the host
+    /// must retry later — the "device busy" path of Fig 6(b)).
+    pub fn admit(&mut self, cmd: Command) -> Result<(), Command> {
+        if !self.has_room() {
+            return Err(cmd);
+        }
+        let seq = self.next_arrival;
+        self.next_arrival += 1;
+        self.waiting.push((seq, cmd));
+        self.peak = self.peak.max(self.occupancy());
+        Ok(())
+    }
+
+    /// Picks the next serviceable command under the priority rules, moving
+    /// it to the in-service set. Returns `None` when nothing is eligible.
+    pub fn pick(&mut self) -> Option<Command> {
+        let idx = self.pick_index()?;
+        let (seq, cmd) = self.waiting.remove(idx);
+        self.in_service.insert(seq, (cmd.id, cmd.priority));
+        Some(cmd)
+    }
+
+    fn pick_index(&self) -> Option<usize> {
+        // Head-of-queue jumps every *waiting* command, but (like a
+        // non-queued SATA FLUSH) waits for in-flight service to finish so
+        // it covers everything transferred before it.
+        if let Some(i) = self
+            .waiting
+            .iter()
+            .position(|(_, c)| c.priority == Priority::HeadOfQueue)
+        {
+            if self.in_service.is_empty() {
+                return Some(i);
+            }
+            return None;
+        }
+        let min_in_service = self.in_service.keys().min().copied();
+        let ordered_fence_in_service = self
+            .in_service
+            .iter()
+            .filter(|(_, (_, p))| *p == Priority::Ordered)
+            .map(|(&s, _)| s)
+            .min();
+        // Waiting list is naturally in arrival order (we only remove).
+        for (i, (seq, cmd)) in self.waiting.iter().enumerate() {
+            match cmd.priority {
+                Priority::HeadOfQueue => unreachable!("handled above"),
+                Priority::Ordered => {
+                    // Every earlier arrival must have completed.
+                    let earlier_waiting = i > 0;
+                    let earlier_in_service = min_in_service.is_some_and(|m| m < *seq);
+                    if !earlier_waiting && !earlier_in_service {
+                        return Some(i);
+                    }
+                    // An unserviceable ordered command also fences
+                    // everything after it.
+                    return None;
+                }
+                Priority::Simple => {
+                    // Must not pass an incomplete earlier ordered command.
+                    let fenced = ordered_fence_in_service.is_some_and(|m| m < *seq);
+                    if !fenced {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Releases the queue slot of a completed command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command was not in service.
+    pub fn complete(&mut self, id: CmdId) {
+        let seq = self
+            .in_service
+            .iter()
+            .find(|(_, (cid, _))| *cid == id)
+            .map(|(&s, _)| s)
+            .expect("completing a command that is not in service");
+        self.in_service.remove(&seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BlockTag, Lba, WriteFlags};
+
+    fn w(id: u64, p: Priority) -> Command {
+        Command::write(CmdId(id), Lba(id), vec![BlockTag(id)], WriteFlags::NONE)
+            .with_priority(p)
+    }
+
+    #[test]
+    fn admits_until_depth() {
+        let mut q = CommandQueue::new(2);
+        assert!(q.admit(w(1, Priority::Simple)).is_ok());
+        assert!(q.admit(w(2, Priority::Simple)).is_ok());
+        let back = q.admit(w(3, Priority::Simple));
+        assert!(back.is_err(), "third command must bounce");
+        assert_eq!(q.occupancy(), 2);
+        assert_eq!(q.peak_occupancy(), 2);
+    }
+
+    #[test]
+    fn in_service_occupies_slot() {
+        let mut q = CommandQueue::new(2);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.pick().unwrap();
+        assert_eq!(q.occupancy(), 1);
+        assert!(q.admit(w(2, Priority::Simple)).is_ok());
+        assert!(q.admit(w(3, Priority::Simple)).is_err());
+        q.complete(CmdId(1));
+        assert!(q.admit(w(3, Priority::Simple)).is_ok());
+    }
+
+    #[test]
+    fn simple_commands_fifo() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::Simple)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert!(q.pick().is_none());
+    }
+
+    #[test]
+    fn head_of_queue_jumps() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::HeadOfQueue)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+    }
+
+    #[test]
+    fn ordered_waits_for_earlier_completion() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::Ordered)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        // cmd 1 in service (not completed): ordered cmd 2 must wait.
+        assert!(q.pick().is_none());
+        q.complete(CmdId(1));
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+    }
+
+    #[test]
+    fn simple_cannot_pass_waiting_ordered() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::Ordered)).unwrap();
+        q.admit(w(3, Priority::Simple)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        // Neither the ordered fence nor the later simple may start.
+        assert!(q.pick().is_none());
+        q.complete(CmdId(1));
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        // Ordered cmd 2 is in service, still fencing cmd 3.
+        assert!(q.pick().is_none());
+        q.complete(CmdId(2));
+        assert_eq!(q.pick().unwrap().id, CmdId(3));
+    }
+
+    #[test]
+    fn simple_before_ordered_flows_freely() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::Simple)).unwrap();
+        q.admit(w(3, Priority::Ordered)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert!(q.pick().is_none(), "ordered waits for both completions");
+        q.complete(CmdId(1));
+        q.complete(CmdId(2));
+        assert_eq!(q.pick().unwrap().id, CmdId(3));
+    }
+
+    #[test]
+    fn consecutive_ordered_commands_serialize() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Ordered)).unwrap();
+        q.admit(w(2, Priority::Ordered)).unwrap();
+        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        assert!(q.pick().is_none());
+        q.complete(CmdId(1));
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+    }
+
+    #[test]
+    fn head_of_queue_jumps_waiting_but_awaits_in_flight() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Ordered)).unwrap();
+        q.pick().unwrap();
+        q.admit(w(2, Priority::HeadOfQueue)).unwrap();
+        q.admit(w(3, Priority::Simple)).unwrap();
+        // Like a non-queued FLUSH: waits for the in-flight command...
+        assert!(q.pick().is_none());
+        q.complete(CmdId(1));
+        // ...then jumps ahead of every waiting command.
+        assert_eq!(q.pick().unwrap().id, CmdId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in service")]
+    fn complete_unknown_panics() {
+        CommandQueue::new(2).complete(CmdId(7));
+    }
+}

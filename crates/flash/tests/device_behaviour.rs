@@ -1,0 +1,343 @@
+//! End-to-end device behaviour: drives the `Device` state machine with a
+//! miniature event loop and checks timing, durability and crash semantics.
+
+use bio_flash::{
+    audit_epoch_order, BarrierMode, BlockTag, CmdId, Command, Completion, DevAction, DevEvent,
+    Device, DeviceProfile, Lba, Priority, WriteFlags,
+};
+use bio_sim::{EventQueue, SimTime};
+
+/// Minimal host: schedules device-internal events and collects completions.
+struct Harness {
+    dev: Device,
+    q: EventQueue<DevEvent>,
+    completions: Vec<Completion>,
+}
+
+impl Harness {
+    fn new(profile: DeviceProfile, seed: u64) -> Harness {
+        Harness {
+            dev: Device::new(profile, seed),
+            q: EventQueue::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, actions: Vec<DevAction>) {
+        for a in actions {
+            match a {
+                DevAction::Complete(c) => self.completions.push(c),
+                DevAction::After(d, ev) => self.q.push_after(d, ev),
+            }
+        }
+    }
+
+    fn submit(&mut self, cmd: Command) {
+        let mut out = Vec::new();
+        let now = self.q.now();
+        self.dev
+            .submit(cmd, now, &mut out)
+            .expect("queue unexpectedly full");
+        self.apply(out);
+    }
+
+    fn submit_may_bounce(&mut self, cmd: Command) -> bool {
+        let mut out = Vec::new();
+        let now = self.q.now();
+        let ok = self.dev.submit(cmd, now, &mut out).is_ok();
+        self.apply(out);
+        ok
+    }
+
+    /// Runs the event loop to quiescence.
+    fn run(&mut self) {
+        while let Some((now, ev)) = self.q.pop() {
+            let mut out = Vec::new();
+            self.dev.handle(ev, now, &mut out);
+            self.apply(out);
+        }
+    }
+
+    /// Runs until the given command completes, returning its completion time.
+    fn run_until_complete(&mut self, id: CmdId) -> SimTime {
+        loop {
+            if let Some(c) = self.completions.iter().find(|c| c.id == id) {
+                return c.at;
+            }
+            let (now, ev) = self.q.pop().expect("event queue drained before completion");
+            let mut out = Vec::new();
+            self.dev.handle(ev, now, &mut out);
+            self.apply(out);
+        }
+    }
+}
+
+fn wcmd(id: u64, lba: u64, tag: u64, flags: WriteFlags) -> Command {
+    Command::write(CmdId(id), Lba(lba), vec![BlockTag(tag)], flags)
+}
+
+#[test]
+fn buffered_write_completes_at_dma_time() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 1);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    let t = h.run_until_complete(CmdId(1));
+    // UFS: 60us decode (idle link) + 25us per block.
+    assert_eq!(t, SimTime::from_micros(85));
+    // Content visible in final (drained) image.
+    h.run();
+    assert_eq!(h.dev.final_image().tag(Lba(0)), BlockTag(10));
+}
+
+#[test]
+fn cached_write_is_lost_on_crash_without_flush() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 2);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    h.run_until_complete(CmdId(1));
+    // Completed but still in the writeback cache: power loss destroys it.
+    let img = h.dev.crash_image();
+    assert_eq!(img.tag(Lba(0)), BlockTag::UNWRITTEN);
+}
+
+#[test]
+fn flush_makes_data_durable() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 3);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    h.run_until_complete(CmdId(1));
+    h.submit(Command::flush(CmdId(2)));
+    let t_flush = h.run_until_complete(CmdId(2));
+    assert!(t_flush > SimTime::from_micros(70), "flush takes program time");
+    assert_eq!(h.dev.crash_image().tag(Lba(0)), BlockTag(10));
+}
+
+#[test]
+fn supercap_flush_is_cheap_and_crash_safe() {
+    let mut h = Harness::new(DeviceProfile::supercap_ssd(), 4);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    let t_w = h.run_until_complete(CmdId(1));
+    h.submit(Command::flush(CmdId(2)));
+    let t_flush = h.run_until_complete(CmdId(2));
+    // PLP flush costs only the fixed overhead (25us), no cache drain.
+    assert!(
+        t_flush.since(t_w) <= bio_sim::SimDuration::from_micros(30),
+        "supercap flush took {}",
+        t_flush.since(t_w)
+    );
+    // And even without any flush the cache is durable.
+    let mut h2 = Harness::new(DeviceProfile::supercap_ssd(), 5);
+    h2.submit(wcmd(1, 7, 70, WriteFlags::NONE));
+    h2.run_until_complete(CmdId(1));
+    assert_eq!(h2.dev.crash_image().tag(Lba(7)), BlockTag(70));
+}
+
+#[test]
+fn fua_write_is_durable_at_completion() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 6);
+    let flags = WriteFlags {
+        fua: true,
+        flush_before: false,
+        barrier: false,
+    };
+    h.submit(wcmd(1, 3, 30, flags));
+    let t = h.run_until_complete(CmdId(1));
+    // FUA costs DMA + a flash program, far more than DMA alone.
+    assert!(t >= SimTime::from_micros(70 + 200));
+    assert_eq!(h.dev.crash_image().tag(Lba(3)), BlockTag(30));
+}
+
+#[test]
+fn flush_fua_write_drains_cache_first() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 7);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    h.run_until_complete(CmdId(1));
+    // JC-style write: FLUSH|FUA.
+    h.submit(wcmd(2, 1, 20, WriteFlags::FLUSH_FUA));
+    h.run_until_complete(CmdId(2));
+    let img = h.dev.crash_image();
+    assert_eq!(img.tag(Lba(0)), BlockTag(10), "preflush persisted lba 0");
+    assert_eq!(img.tag(Lba(1)), BlockTag(20), "FUA persisted lba 1");
+}
+
+#[test]
+fn queue_depth_is_bounded() {
+    let mut h = Harness::new(DeviceProfile::ufs(), 8); // QD 16
+    let mut accepted = 0;
+    for i in 0..40 {
+        if h.submit_may_bounce(wcmd(i + 1, i, i + 100, WriteFlags::NONE)) {
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 16, "exactly QD commands fit");
+    assert_eq!(h.dev.stats().queue_full_rejections, 24);
+    h.run();
+    assert_eq!(h.completions.len(), 16);
+}
+
+#[test]
+fn writes_complete_in_transfer_order_on_one_link() {
+    let mut h = Harness::new(DeviceProfile::plain_ssd(), 9);
+    for i in 0..8u64 {
+        h.submit(wcmd(i + 1, i, i + 100, WriteFlags::NONE));
+    }
+    h.run();
+    let order: Vec<u64> = h.completions.iter().map(|c| c.id.0).collect();
+    assert_eq!(order, (1..=8).collect::<Vec<_>>());
+}
+
+#[test]
+fn barrier_write_pays_emulation_penalty_on_plain_ssd() {
+    // plain-SSD profile has a 5% barrier overhead.
+    let mut plain = Harness::new(DeviceProfile::plain_ssd(), 10);
+    plain.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    let t_plain = plain.run_until_complete(CmdId(1));
+
+    let mut barrier = Harness::new(DeviceProfile::plain_ssd(), 10);
+    barrier.submit(wcmd(1, 0, 10, WriteFlags::BARRIER));
+    let t_barrier = barrier.run_until_complete(CmdId(1));
+    assert!(t_barrier > t_plain);
+    let ratio = t_barrier.as_nanos() as f64 / t_plain.as_nanos() as f64;
+    assert!((ratio - 1.05).abs() < 0.01, "ratio {ratio}");
+}
+
+#[test]
+fn lfs_device_preserves_epoch_order_across_crashes() {
+    // Write epochs of 4 blocks, barrier-delimited; crash mid-destage; the
+    // persisted image must never show epoch n+1 while epoch n is missing.
+    for seed in 0..20u64 {
+        let mut h = Harness::new(DeviceProfile::ufs(), seed);
+        h.dev.record_history(true);
+        let mut id = 0;
+        for epoch in 0..6u64 {
+            for i in 0..4u64 {
+                id += 1;
+                let lba = epoch * 4 + i;
+                let flags = if i == 3 {
+                    WriteFlags::BARRIER
+                } else {
+                    WriteFlags::NONE
+                };
+                h.submit(
+                    wcmd(id, lba, 1000 + id, flags).with_priority(Priority::Ordered),
+                );
+                h.run_until_complete(CmdId(id));
+            }
+        }
+        // Force some destaging, then crash partway: pop a bounded number of
+        // events so programs are mid-flight.
+        h.submit(Command::flush(CmdId(999)));
+        for _ in 0..(seed % 17) {
+            if let Some((now, ev)) = h.q.pop() {
+                let mut out = Vec::new();
+                h.dev.handle(ev, now, &mut out);
+                h.apply(out);
+            }
+        }
+        let img = h.dev.crash_image();
+        let violations = audit_epoch_order(h.dev.history().unwrap(), &img);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: LFS device violated epoch order: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn orderless_device_can_violate_epoch_order() {
+    // Same workload on a device with BarrierMode::Unsupported: across many
+    // seeds at least one crash must violate epoch ordering (this is the
+    // vulnerability the paper's barrier removes).
+    let mut violated = false;
+    for seed in 0..40u64 {
+        let profile = DeviceProfile::ufs().with_barrier_mode(BarrierMode::Unsupported);
+        let mut h = Harness::new(profile, seed);
+        h.dev.record_history(true);
+        let mut id = 0;
+        for epoch in 0..6u64 {
+            for i in 0..4u64 {
+                id += 1;
+                let lba = epoch * 4 + i;
+                let flags = if i == 3 {
+                    WriteFlags::BARRIER
+                } else {
+                    WriteFlags::NONE
+                };
+                h.submit(wcmd(id, lba, 1000 + id, flags));
+                h.run_until_complete(CmdId(id));
+            }
+        }
+        h.submit(Command::flush(CmdId(999)));
+        for _ in 0..(3 + seed % 23) {
+            if let Some((now, ev)) = h.q.pop() {
+                let mut out = Vec::new();
+                h.dev.handle(ev, now, &mut out);
+                h.apply(out);
+            }
+        }
+        let img = h.dev.crash_image();
+        if !audit_epoch_order(h.dev.history().unwrap(), &img).is_empty() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "orderless device never violated epoch order across 40 crashes — \
+         the baseline model is too strong"
+    );
+}
+
+#[test]
+fn sustained_writes_trigger_gc() {
+    // Small device so GC happens quickly.
+    let mut profile = DeviceProfile::ufs();
+    profile.segments = 8;
+    profile.pages_per_segment = 32;
+    profile.cache_blocks = 16;
+    profile.gc_low_watermark = 0.3;
+    let mut h = Harness::new(profile, 11);
+    let mut id = 0;
+    // Overwrite a 64-block working set far beyond device capacity.
+    for round in 0..12u64 {
+        for lba in 0..64u64 {
+            id += 1;
+            loop {
+                if h.submit_may_bounce(wcmd(id, lba, round * 64 + lba + 1, WriteFlags::NONE)) {
+                    break;
+                }
+                // Queue full: let the device make progress.
+                let (now, ev) = h.q.pop().expect("device stuck");
+                let mut out = Vec::new();
+                h.dev.handle(ev, now, &mut out);
+                h.apply(out);
+            }
+        }
+    }
+    while !h.submit_may_bounce(Command::flush(CmdId(99999))) {
+        let (now, ev) = h.q.pop().expect("device stuck");
+        let mut out = Vec::new();
+        h.dev.handle(ev, now, &mut out);
+        h.apply(out);
+    }
+    h.run();
+    assert!(h.dev.ftl_stats().gc_runs > 0, "GC never ran");
+    assert!(h.dev.ftl_stats().write_amplification() >= 1.0);
+    // All final contents must be the last round's writes.
+    let img = h.dev.final_image();
+    for lba in 0..64u64 {
+        assert_eq!(img.tag(Lba(lba)), BlockTag(11 * 64 + lba + 1), "lba {lba}");
+    }
+}
+
+#[test]
+fn qd_series_tracks_occupancy() {
+    let mut h = Harness::new(DeviceProfile::plain_ssd(), 12);
+    for i in 0..4u64 {
+        h.submit(wcmd(i + 1, i, i + 1, WriteFlags::NONE));
+    }
+    let peak = h
+        .dev
+        .qd_series()
+        .max_in(SimTime::ZERO, SimTime::from_secs(1));
+    assert!(peak >= 4.0, "peak {peak}");
+    h.run();
+    assert_eq!(h.dev.queue_depth(), 0);
+}

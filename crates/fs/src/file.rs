@@ -1,0 +1,236 @@
+//! The file table: inodes, extents, dirty-page tracking.
+//!
+//! Files are block-granular. Each file owns one inode home block in the
+//! metadata region and a set of data extents. Dirty data pages carry the
+//! tag assigned at `write()` time (overwrites before writeback replace the
+//! tag in place — page-cache semantics); the inode has two dirt bits,
+//! because `fdatasync` ignores timestamp-only changes while `fsync` does
+//! not (§6.3's timer-tick effect).
+
+use std::collections::BTreeMap;
+
+use bio_flash::{BlockTag, Lba};
+
+use crate::layout::Layout;
+use crate::txn::TxnId;
+
+/// File identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// One file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inode home block in the metadata region.
+    pub inode_lba: Lba,
+    /// Size in blocks (highest written block + 1).
+    pub size_blocks: u64,
+    /// Extent map: file-block offset → starting LBA, length.
+    extents: Vec<(u64, Lba, u64)>,
+    /// Dirty data pages: file block → content tag.
+    pub dirty_data: BTreeMap<u64, BlockTag>,
+    /// Blocks ever written back (used by OptFS selective data journaling:
+    /// an overwrite of committed content is journaled, not written in
+    /// place).
+    pub committed_blocks: BTreeMap<u64, ()>,
+    /// Inode content version (bumped on any metadata change).
+    pub meta_tag: BlockTag,
+    /// Size/allocation changed since last journal commit (`fdatasync`
+    /// must commit).
+    pub alloc_dirty: bool,
+    /// Timestamp changed since last commit (`fsync` must commit,
+    /// `fdatasync` may skip).
+    pub mtime_dirty: bool,
+    /// Timer tick of the last timestamp update.
+    pub mtime_tick: u64,
+    /// Transaction currently holding this inode's dirty buffer.
+    pub txn: Option<TxnId>,
+    /// Live (deleted files keep their slot, dead).
+    pub live: bool,
+}
+
+impl File {
+    /// True if a journal commit is needed to persist this file's metadata
+    /// for the given syscall flavour.
+    pub fn metadata_dirty(&self, datasync: bool) -> bool {
+        if datasync {
+            self.alloc_dirty
+        } else {
+            self.alloc_dirty || self.mtime_dirty
+        }
+    }
+
+    /// Resolves a file block offset to its LBA, if allocated.
+    pub fn lba_of(&self, block: u64) -> Option<Lba> {
+        for &(off, lba, len) in &self.extents {
+            if block >= off && block < off + len {
+                return Some(Lba(lba.0 + (block - off)));
+            }
+        }
+        None
+    }
+}
+
+/// The file table.
+#[derive(Debug, Clone, Default)]
+pub struct FileTable {
+    files: Vec<File>,
+}
+
+impl FileTable {
+    /// Creates an empty table.
+    pub fn new() -> FileTable {
+        FileTable::default()
+    }
+
+    /// Creates a file, allocating its inode block.
+    pub fn create(&mut self, layout: &mut Layout) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(File {
+            inode_lba: layout.alloc_meta(),
+            size_blocks: 0,
+            extents: Vec::new(),
+            dirty_data: BTreeMap::new(),
+            committed_blocks: BTreeMap::new(),
+            meta_tag: layout.next_tag(),
+            alloc_dirty: true, // a fresh inode must be journaled
+            mtime_dirty: true,
+            mtime_tick: u64::MAX,
+            txn: None,
+            live: true,
+        });
+        id
+    }
+
+    /// Immutable file access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn get(&self, id: FileId) -> &File {
+        &self.files[id.0 as usize]
+    }
+
+    /// Mutable file access.
+    pub fn get_mut(&mut self, id: FileId) -> &mut File {
+        &mut self.files[id.0 as usize]
+    }
+
+    /// Number of files ever created.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files exist.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Ensures blocks `[offset, offset+n)` are allocated, extending the
+    /// file with a fresh extent if needed. Returns true when an allocation
+    /// happened (metadata change).
+    pub fn ensure_allocated(
+        &mut self,
+        id: FileId,
+        layout: &mut Layout,
+        offset: u64,
+        n: u64,
+    ) -> bool {
+        let file = &mut self.files[id.0 as usize];
+        let end = offset + n;
+        let mut allocated = false;
+        // Allocate any missing tail as one extent (files grow mostly
+        // append-style in the workloads).
+        let mut cursor = offset;
+        while cursor < end {
+            if file.lba_of(cursor).is_some() {
+                cursor += 1;
+                continue;
+            }
+            let run_len = end - cursor;
+            let lba = layout.alloc_data(run_len);
+            file.extents.push((cursor, lba, run_len));
+            allocated = true;
+            cursor = end;
+        }
+        if end > file.size_blocks {
+            file.size_blocks = end;
+            allocated = true;
+        }
+        allocated
+    }
+
+    /// Iterates over live file ids.
+    pub fn ids(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.live)
+            .map(|(i, _)| FileId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FileTable, Layout) {
+        (FileTable::new(), Layout::new(64, 128))
+    }
+
+    #[test]
+    fn create_allocates_inode() {
+        let (mut ft, mut l) = setup();
+        let a = ft.create(&mut l);
+        let b = ft.create(&mut l);
+        assert_ne!(ft.get(a).inode_lba, ft.get(b).inode_lba);
+        assert!(ft.get(a).alloc_dirty, "fresh inode needs journaling");
+        assert_eq!(ft.len(), 2);
+    }
+
+    #[test]
+    fn allocation_extends_extents() {
+        let (mut ft, mut l) = setup();
+        let f = ft.create(&mut l);
+        assert!(ft.ensure_allocated(f, &mut l, 0, 4));
+        assert_eq!(ft.get(f).size_blocks, 4);
+        let lba0 = ft.get(f).lba_of(0).unwrap();
+        let lba3 = ft.get(f).lba_of(3).unwrap();
+        assert_eq!(lba3.0, lba0.0 + 3);
+        // Re-allocating the same range is a no-op.
+        assert!(!ft.ensure_allocated(f, &mut l, 0, 4));
+    }
+
+    #[test]
+    fn sparse_extension_allocates_gap() {
+        let (mut ft, mut l) = setup();
+        let f = ft.create(&mut l);
+        ft.ensure_allocated(f, &mut l, 0, 2);
+        ft.ensure_allocated(f, &mut l, 5, 2);
+        assert!(ft.get(f).lba_of(6).is_some());
+        assert_eq!(ft.get(f).size_blocks, 7);
+    }
+
+    #[test]
+    fn metadata_dirty_flavours() {
+        let (mut ft, mut l) = setup();
+        let f = ft.create(&mut l);
+        let file = ft.get_mut(f);
+        file.alloc_dirty = false;
+        file.mtime_dirty = true;
+        assert!(file.metadata_dirty(false), "fsync sees mtime");
+        assert!(!file.metadata_dirty(true), "fdatasync ignores mtime");
+        file.alloc_dirty = true;
+        assert!(file.metadata_dirty(true));
+    }
+
+    #[test]
+    fn ids_iterates_live_files() {
+        let (mut ft, mut l) = setup();
+        let a = ft.create(&mut l);
+        let b = ft.create(&mut l);
+        ft.get_mut(a).live = false;
+        let ids: Vec<FileId> = ft.ids().collect();
+        assert_eq!(ids, vec![b]);
+    }
+}

@@ -1,0 +1,1014 @@
+//! The filesystem state machine: syscall entry points, write path, reads,
+//! background writeback. The journal machinery lives in `journal.rs` as
+//! further `impl Filesystem` blocks.
+//!
+//! The filesystem is a Mealy machine like the layers below: syscalls and
+//! [`FsEvent`]s go in, [`FsAction`]s come out. The embedding simulator
+//! routes `Submit` actions to the block layer and feeds request
+//! completions back as [`FsEvent::ReqDone`].
+//!
+//! ## Blocking and context switches
+//!
+//! A syscall returns [`SyscallOutcome::Done`] when it completes without
+//! sleeping (e.g. `write()`, `fdatabarrier()`), or
+//! [`SyscallOutcome::Blocked`], in which case exactly one
+//! [`FsAction::Wake`] follows eventually, and every sleep→wake transition
+//! inside the call (including the final one) emits one
+//! [`FsAction::CtxSwitch`]. The CtxSwitch count per operation is the
+//! metric of the paper's Fig 11.
+
+use std::collections::{HashMap, HashSet};
+
+use bio_block::{BlockRequest, ReqFlags, ReqId};
+use bio_flash::{BlockTag, Lba};
+use bio_sim::{SimDuration, SimTime};
+
+use crate::config::{FsConfig, FsMode};
+use crate::file::{FileId, FileTable};
+use crate::layout::Layout;
+use crate::recovery::TxnRecord;
+use crate::txn::{ConflictList, ThreadId, Txn, TxnId, TxnState};
+
+/// Events the filesystem schedules for itself (routed back by the
+/// embedding simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsEvent {
+    /// A block request completed.
+    ReqDone(ReqId),
+    /// Resume a syscall state machine after a context-switch delay.
+    Step(ThreadId),
+    /// The JBD / commit thread runs.
+    CommitRun,
+    /// Background writeback daemon round.
+    Pdflush,
+    /// OptFS delayed-durability flush timer.
+    OptfsFlush,
+}
+
+/// Outputs of the filesystem machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsAction {
+    /// Submit a request to the block layer.
+    Submit(BlockRequest),
+    /// The blocked syscall of this thread completed; resume the caller.
+    Wake(ThreadId),
+    /// The caller slept and was woken once inside the syscall (metric for
+    /// Fig 11; emitted for every sleep/wake pair including the final one).
+    CtxSwitch(ThreadId),
+    /// Schedule an event after a delay.
+    After(SimDuration, FsEvent),
+}
+
+/// Synchronous result of a syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallOutcome {
+    /// Completed without sleeping.
+    Done,
+    /// Caller is blocked; an [`FsAction::Wake`] will follow.
+    Blocked,
+}
+
+/// What a pending data-wait continues into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AfterData {
+    /// EXT4 family: commit metadata or flush (phase 2 of `fsync`).
+    Ext4Phase2 { datasync: bool },
+    /// BarrierFS degenerate `fdatasync`: flush, then wake.
+    FlushThenWake,
+    /// OptFS: commit after the page scan; `durable` selects the wait.
+    OptfsScan { durable: bool },
+}
+
+/// Per-thread syscall progress.
+#[derive(Debug, Clone)]
+#[allow(dead_code)] // txn fields are kept for state debugging
+enum SyscallState {
+    /// Waiting for data-page writes.
+    AwaitData {
+        pending: HashSet<ReqId>,
+        file: FileId,
+        then: AfterData,
+    },
+    /// Between CtxSwitch and Step (scheduling latency).
+    Stepping { file: FileId, then: AfterData },
+    /// Waiting for an explicit flush request.
+    AwaitFlush,
+    /// Waiting for a transaction to become durable.
+    AwaitTxnDurable { txn: TxnId },
+    /// Waiting for a transaction's commit dispatch (fbarrier).
+    AwaitTxnDispatch { txn: TxnId },
+    /// Waiting for a transaction's JC transfer (OptFS osync).
+    AwaitTxnTransferred { txn: TxnId },
+    /// EXT4 writer blocked on a page conflict; the write retries when the
+    /// holder transaction releases its buffers.
+    AwaitConflict {
+        file: FileId,
+        offset: u64,
+        blocks: u64,
+    },
+    /// Waiting for a read.
+    AwaitRead,
+}
+
+/// Why a request was submitted (continuation routing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Purpose {
+    /// Data page write awaited by a thread.
+    Data(ThreadId),
+    /// Journal descriptor + logs of a transaction.
+    Jd(TxnId),
+    /// Journal commit block.
+    Jc(TxnId),
+    /// Flush awaited by one thread (degenerate fsync path).
+    ThreadFlush(ThreadId),
+    /// Flush issued by the flush thread covering transactions `<= upto`.
+    TxnFlush { upto: TxnId },
+    /// Checkpoint (in-place metadata) write of a transaction.
+    Checkpoint(TxnId),
+    /// Background writeback; no continuation.
+    Writeback,
+    /// Read awaited by a thread.
+    Read(ThreadId),
+}
+
+/// Aggregate filesystem statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsStats {
+    /// Journal commits dispatched.
+    pub commits: u64,
+    /// Commits forced by barrier calls finding nothing dirty.
+    pub forced_commits: u64,
+    /// Data blocks submitted (foreground).
+    pub data_blocks: u64,
+    /// Journal blocks submitted (JD + logs + JC).
+    pub journal_blocks: u64,
+    /// Checkpoint blocks submitted.
+    pub checkpoint_blocks: u64,
+    /// Writeback blocks submitted by pdflush.
+    pub writeback_blocks: u64,
+    /// Page conflicts encountered (§4.3).
+    pub page_conflicts: u64,
+    /// Flush requests issued.
+    pub flushes: u64,
+}
+
+/// The simulated filesystem.
+#[derive(Debug)]
+pub struct Filesystem {
+    pub(crate) cfg: FsConfig,
+    pub(crate) layout: Layout,
+    pub(crate) files: FileTable,
+    pub(crate) txns: HashMap<TxnId, Txn>,
+    pub(crate) running: Option<TxnId>,
+    /// Committing-transaction list, in commit order (§4.2).
+    pub(crate) committing: Vec<TxnId>,
+    pub(crate) next_txn: u64,
+    pub(crate) conflicts: ConflictList,
+    pub(crate) commit_scheduled: bool,
+    syscalls: HashMap<ThreadId, SyscallState>,
+    pub(crate) purposes: HashMap<ReqId, Purpose>,
+    next_req: u64,
+    /// Journal blocks held by non-checkpointed transactions.
+    pub(crate) journal_used: u64,
+    pub(crate) journal_stalled: bool,
+    /// Outstanding checkpoint writes per transaction.
+    pub(crate) checkpoints_left: HashMap<TxnId, usize>,
+    /// A TxnFlush request is in flight.
+    pub(crate) flush_inflight: bool,
+    /// A transferred transaction gained durability waiters while a flush
+    /// was in flight; flush again.
+    pub(crate) flush_again: bool,
+    pub(crate) records: Vec<TxnRecord>,
+    pub(crate) stats: FsStats,
+    /// Total dirty data pages across all files (writeback watermarking).
+    dirty_total: u64,
+    /// Dirty-page count above which writes trigger inline writeback
+    /// (the kernel's dirty-ratio behaviour).
+    dirty_threshold: u64,
+}
+
+impl Filesystem {
+    /// Creates a filesystem with the given configuration. `meta_blocks`
+    /// bounds how many files can ever be created.
+    pub fn new(cfg: FsConfig) -> Filesystem {
+        cfg.validate();
+        let layout = Layout::new(65_536, cfg.journal_blocks);
+        Filesystem {
+            layout,
+            files: FileTable::new(),
+            txns: HashMap::new(),
+            running: None,
+            committing: Vec::new(),
+            next_txn: 1,
+            conflicts: ConflictList::new(),
+            commit_scheduled: false,
+            syscalls: HashMap::new(),
+            purposes: HashMap::new(),
+            next_req: 1,
+            journal_used: 0,
+            journal_stalled: false,
+            checkpoints_left: HashMap::new(),
+            flush_inflight: false,
+            flush_again: false,
+            records: Vec::new(),
+            stats: FsStats::default(),
+            dirty_total: 0,
+            dirty_threshold: 256,
+            cfg,
+        }
+    }
+
+    /// Arms the periodic background tasks (pdflush, OptFS flusher). Call
+    /// once after construction.
+    pub fn start(&mut self, out: &mut Vec<FsAction>) {
+        out.push(FsAction::After(
+            self.cfg.writeback_interval,
+            FsEvent::Pdflush,
+        ));
+        if self.cfg.mode == FsMode::OptFs {
+            out.push(FsAction::After(
+                self.cfg.optfs_flush_interval,
+                FsEvent::OptfsFlush,
+            ));
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> FsStats {
+        self.stats
+    }
+
+    /// Ground-truth transaction records for the crash checker.
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+
+    /// Number of transactions currently in the committing list.
+    pub fn committing_count(&self) -> usize {
+        self.committing.len()
+    }
+
+    /// Creates a file.
+    pub fn create(&mut self, _tid: ThreadId, out: &mut Vec<FsAction>) -> FileId {
+        let id = self.files.create(&mut self.layout);
+        let f = self.files.get(id);
+        let (lba, tag) = (f.inode_lba, f.meta_tag);
+        self.dirty_inode(id, lba, tag, out);
+        id
+    }
+
+    /// Deletes a file (metadata-only in this model).
+    pub fn unlink(&mut self, _tid: ThreadId, file: FileId, out: &mut Vec<FsAction>) {
+        let f = self.files.get_mut(file);
+        f.live = false;
+        let dropped = f.dirty_data.len() as u64;
+        f.dirty_data.clear();
+        f.alloc_dirty = true;
+        self.dirty_total = self.dirty_total.saturating_sub(dropped);
+        let tag = self.layout.next_tag();
+        let f = self.files.get_mut(file);
+        f.meta_tag = tag;
+        let lba = f.inode_lba;
+        self.dirty_inode(file, lba, tag, out);
+    }
+
+    pub(crate) fn alloc_req(&mut self, purpose: Purpose) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        self.purposes.insert(id, purpose);
+        id
+    }
+
+    /// Buffered write of `blocks` blocks at `offset`. Returns `Done`
+    /// unless an EXT4 page conflict blocks the caller (§4.3).
+    pub fn write(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        offset: u64,
+        blocks: u64,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        assert!(blocks > 0, "zero-length write");
+        let tick = now.as_nanos() / self.cfg.timer_tick.as_nanos().max(1);
+        // Would this write change metadata?
+        let needs_alloc = {
+            let f = self.files.get(file);
+            (offset..offset + blocks).any(|b| f.lba_of(b).is_none())
+                || offset + blocks > f.size_blocks
+        };
+        let mtime_change = self.files.get(file).mtime_tick != tick;
+        let meta_change = needs_alloc || mtime_change;
+
+        // Page-conflict check: the inode buffer is held by a committing
+        // transaction and we are about to re-dirty it.
+        if meta_change {
+            if let Some(holder) = self.committing_holder(file) {
+                self.stats.page_conflicts += 1;
+                if self.cfg.mode == FsMode::BarrierFs {
+                    // Multi-transaction page conflict: record in the
+                    // conflict-page list and proceed without blocking.
+                    let inode = self.files.get(file).inode_lba;
+                    self.conflicts.add(inode, file, holder);
+                } else {
+                    // Legacy journaling: the writer blocks until the
+                    // committing transaction releases the buffer.
+                    self.txns
+                        .get_mut(&holder)
+                        .expect("holder txn")
+                        .conflict_waiters
+                        .push(tid);
+                    self.syscalls.insert(
+                        tid,
+                        SyscallState::AwaitConflict {
+                            file,
+                            offset,
+                            blocks,
+                        },
+                    );
+                    return SyscallOutcome::Blocked;
+                }
+            }
+        }
+
+        // Apply the write to the page cache.
+        if needs_alloc {
+            self.files
+                .ensure_allocated(file, &mut self.layout, offset, blocks);
+        }
+        for b in offset..offset + blocks {
+            let tag = self.layout.next_tag();
+            if self
+                .files
+                .get_mut(file)
+                .dirty_data
+                .insert(b, tag)
+                .is_none()
+            {
+                self.dirty_total += 1;
+            }
+        }
+        if meta_change {
+            let f = self.files.get_mut(file);
+            f.alloc_dirty |= needs_alloc;
+            f.mtime_dirty |= mtime_change;
+            f.mtime_tick = tick;
+            let tag = self.layout.next_tag();
+            let f = self.files.get_mut(file);
+            f.meta_tag = tag;
+            let lba = f.inode_lba;
+            // Conflicted BarrierFS inodes join the running transaction
+            // later, at conflict resolution.
+            if !self.conflicts.contains(lba) {
+                self.dirty_inode(file, lba, tag, out);
+            }
+        }
+        // Dirty-ratio behaviour: past the threshold, writes kick the
+        // writeback daemon inline so buffered workloads reach the device.
+        if self.dirty_total > self.dirty_threshold {
+            self.pdflush(out);
+        }
+        SyscallOutcome::Done
+    }
+
+    /// The committing (non-released) transaction currently holding this
+    /// file's inode buffer, if any.
+    fn committing_holder(&self, file: FileId) -> Option<TxnId> {
+        let t = self.files.get(file).txn?;
+        let txn = self.txns.get(&t)?;
+        match txn.state {
+            TxnState::Running => None,
+            _ if self.committing.contains(&t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Inserts the inode buffer into the running transaction.
+    pub(crate) fn dirty_inode(
+        &mut self,
+        file: FileId,
+        inode_lba: Lba,
+        tag: BlockTag,
+        out: &mut Vec<FsAction>,
+    ) {
+        let rt = self.ensure_running(out);
+        self.txns
+            .get_mut(&rt)
+            .expect("running txn")
+            .add_buffer(inode_lba, file, tag);
+        self.files.get_mut(file).txn = Some(rt);
+    }
+
+    pub(crate) fn ensure_running(&mut self, _out: &mut Vec<FsAction>) -> TxnId {
+        if let Some(rt) = self.running {
+            return rt;
+        }
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(id, Txn::new(id));
+        self.running = Some(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Data submission helpers.
+    // ------------------------------------------------------------------
+
+    /// Takes the file's dirty pages and submits them as write requests
+    /// (contiguous runs become single requests). Returns the request ids
+    /// and the `(lba, tag)` pairs submitted.
+    pub(crate) fn submit_dirty_data(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        flags: ReqFlags,
+        barrier_on_last: bool,
+        out: &mut Vec<FsAction>,
+    ) -> (Vec<ReqId>, Vec<(Lba, BlockTag)>) {
+        let dirty: Vec<(u64, BlockTag)> = {
+            let f = self.files.get_mut(file);
+            let d: Vec<(u64, BlockTag)> = f.dirty_data.iter().map(|(&b, &t)| (b, t)).collect();
+            f.dirty_data.clear();
+            self.dirty_total = self.dirty_total.saturating_sub(d.len() as u64);
+            d
+        };
+        // Resolve to LBAs and split into contiguous runs.
+        let mut pairs: Vec<(Lba, BlockTag)> = dirty
+            .iter()
+            .map(|&(b, t)| {
+                let f = self.files.get_mut(file);
+                f.committed_blocks.insert(b, ());
+                (f.lba_of(b).expect("dirty page must be allocated"), t)
+            })
+            .collect();
+        pairs.sort_by_key(|(l, _)| *l);
+        let mut reqs = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 .0 == pairs[j - 1].0 .0 + 1 {
+                j += 1;
+            }
+            let start = pairs[i].0;
+            let tags: Vec<BlockTag> = pairs[i..j].iter().map(|(_, t)| *t).collect();
+            let rid = self.alloc_req(Purpose::Data(tid));
+            self.stats.data_blocks += tags.len() as u64;
+            let mut f = flags;
+            if barrier_on_last && j == pairs.len() {
+                f.barrier = true;
+                f.ordered = true;
+            }
+            out.push(FsAction::Submit(BlockRequest::write(rid, start, tags, f)));
+            reqs.push(rid);
+            i = j;
+        }
+        (reqs, pairs)
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronisation syscalls.
+    // ------------------------------------------------------------------
+
+    /// `fsync(fd)`: durability + ordering.
+    pub fn fsync(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        self.sync_common(tid, file, false, now, out)
+    }
+
+    /// `fdatasync(fd)`: like `fsync` but skips timestamp-only metadata.
+    pub fn fdatasync(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        self.sync_common(tid, file, true, now, out)
+    }
+
+    fn sync_common(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        datasync: bool,
+        _now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        match self.cfg.mode {
+            FsMode::Ext4 | FsMode::Ext4NoBarrier => self.ext4_sync(tid, file, datasync, out),
+            FsMode::BarrierFs => self.bfs_sync(tid, file, datasync, out),
+            FsMode::OptFs => self.optfs_osync(tid, file, datasync, true, out),
+        }
+    }
+
+    /// `fbarrier(fd)`: ordering-only counterpart of `fsync` (§4.1).
+    /// Only meaningful on BarrierFS; on OptFS it maps to `osync`.
+    pub fn fbarrier(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        match self.cfg.mode {
+            FsMode::BarrierFs => self.bfs_barrier(tid, file, false, out),
+            FsMode::OptFs => self.optfs_osync(tid, file, false, false, out),
+            // Without barrier support the closest legal semantics is fsync.
+            _ => self.sync_common(tid, file, false, now, out),
+        }
+    }
+
+    /// `fdatabarrier(fd)`: ordering-only counterpart of `fdatasync`; the
+    /// storage mfence (§4.1). Returns without blocking on BarrierFS.
+    pub fn fdatabarrier(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        match self.cfg.mode {
+            FsMode::BarrierFs => self.bfs_barrier(tid, file, true, out),
+            FsMode::OptFs => self.optfs_osync(tid, file, true, false, out),
+            _ => self.sync_common(tid, file, true, now, out),
+        }
+    }
+
+    // --- EXT4 family -----------------------------------------------------
+
+    fn ext4_sync(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        datasync: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        let has_dirty = !self.files.get(file).dirty_data.is_empty();
+        if has_dirty {
+            let (reqs, pairs) = self.submit_dirty_data(tid, file, ReqFlags::NONE, false, out);
+            self.note_ordered_data(&pairs);
+            self.syscalls.insert(
+                tid,
+                SyscallState::AwaitData {
+                    pending: reqs.into_iter().collect(),
+                    file,
+                    then: AfterData::Ext4Phase2 { datasync },
+                },
+            );
+            SyscallOutcome::Blocked
+        } else {
+            self.ext4_phase2(tid, file, datasync, out)
+        }
+    }
+
+    /// Phase 2 of an EXT4 fsync: after data is transferred, commit the
+    /// journal (metadata dirty) or flush the device cache (degenerate).
+    fn ext4_phase2(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        datasync: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        // Wait on an in-flight commit holding this inode.
+        if let Some(holder) = self.committing_holder(file) {
+            self.txns
+                .get_mut(&holder)
+                .expect("holder")
+                .durable_waiters
+                .push(tid);
+            self.syscalls
+                .insert(tid, SyscallState::AwaitTxnDurable { txn: holder });
+            return SyscallOutcome::Blocked;
+        }
+        if self.files.get(file).metadata_dirty(datasync) {
+            let rt = self.ensure_running(out);
+            // The inode is in the running transaction (dirtied at write).
+            self.txns
+                .get_mut(&rt)
+                .expect("running")
+                .durable_waiters
+                .push(tid);
+            self.trigger_commit(rt, out);
+            self.syscalls
+                .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+            return SyscallOutcome::Blocked;
+        }
+        // Degenerate (fdatasync-equivalent) path.
+        if self.cfg.mode == FsMode::Ext4NoBarrier {
+            // nobarrier: no flush — return right away.
+            return SyscallOutcome::Done;
+        }
+        let rid = self.alloc_req(Purpose::ThreadFlush(tid));
+        self.stats.flushes += 1;
+        out.push(FsAction::Submit(BlockRequest::flush(rid)));
+        self.syscalls.insert(tid, SyscallState::AwaitFlush);
+        SyscallOutcome::Blocked
+    }
+
+    // --- BarrierFS --------------------------------------------------------
+
+    fn bfs_sync(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        datasync: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        let has_dirty = !self.files.get(file).dirty_data.is_empty();
+        let meta_dirty = self.files.get(file).metadata_dirty(datasync);
+        let committing_holder = self.committing_holder(file);
+
+        if meta_dirty && committing_holder.is_none() || self.conflicts_pending_for(file) {
+            // Full path: D (ordered), then dual-mode journal commit; the
+            // caller sleeps once, woken by the flush thread.
+            if has_dirty {
+                let (_, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, false, out);
+                self.note_ordered_data(&pairs);
+            }
+            let rt = self.ensure_running(out);
+            self.txns
+                .get_mut(&rt)
+                .expect("running")
+                .durable_waiters
+                .push(tid);
+            self.trigger_commit(rt, out);
+            self.syscalls
+                .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+            return SyscallOutcome::Blocked;
+        }
+        if let Some(holder) = committing_holder {
+            // Metadata already committing: wait for that transaction's
+            // durability (requesting a flush if it was ordering-only).
+            if has_dirty {
+                let (_, pairs) =
+                    self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
+                self.note_ordered_data(&pairs);
+            }
+            self.await_txn_durable(tid, holder, out);
+            return SyscallOutcome::Blocked;
+        }
+        if has_dirty {
+            // Degenerate path: D is its own epoch (barrier on the last
+            // request), wait for transfer, then flush. Two sleeps.
+            let (reqs, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
+            self.note_ordered_data(&pairs);
+            self.syscalls.insert(
+                tid,
+                SyscallState::AwaitData {
+                    pending: reqs.into_iter().collect(),
+                    file,
+                    then: AfterData::FlushThenWake,
+                },
+            );
+            return SyscallOutcome::Blocked;
+        }
+        // Nothing dirty at all: force a journal commit to delimit an epoch
+        // and provide durability (§4.2).
+        let rt = self.ensure_running(out);
+        self.txns
+            .get_mut(&rt)
+            .expect("running")
+            .durable_waiters
+            .push(tid);
+        self.stats.forced_commits += 1;
+        self.trigger_commit(rt, out);
+        self.syscalls
+            .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+        SyscallOutcome::Blocked
+    }
+
+    /// Are there unresolved conflict entries whose resolution will land in
+    /// the running transaction this file cares about?
+    fn conflicts_pending_for(&self, file: FileId) -> bool {
+        self.conflicts.contains(self.files.get(file).inode_lba)
+    }
+
+    fn bfs_barrier(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        datasync: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        let has_dirty = !self.files.get(file).dirty_data.is_empty();
+        let meta_dirty = !datasync && self.files.get(file).metadata_dirty(false);
+        if !datasync && (meta_dirty || self.conflicts_pending_for(file)) {
+            // fbarrier full path: D ordered; wait for the commit thread to
+            // dispatch JC (one sleep).
+            if has_dirty {
+                let (_, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, false, out);
+                self.note_ordered_data(&pairs);
+            }
+            let rt = self.ensure_running(out);
+            self.txns
+                .get_mut(&rt)
+                .expect("running")
+                .dispatch_waiters
+                .push(tid);
+            self.trigger_commit(rt, out);
+            self.syscalls
+                .insert(tid, SyscallState::AwaitTxnDispatch { txn: rt });
+            return SyscallOutcome::Blocked;
+        }
+        if has_dirty {
+            // fdatabarrier / degenerate fbarrier: dispatch D as an epoch of
+            // its own and return immediately — the storage mfence.
+            let (_, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
+            self.note_ordered_data(&pairs);
+            return SyscallOutcome::Done;
+        }
+        // Nothing dirty: force an (asynchronous) commit to delimit the
+        // epoch; do not wait.
+        let rt = self.ensure_running(out);
+        self.stats.forced_commits += 1;
+        self.trigger_commit(rt, out);
+        SyscallOutcome::Done
+    }
+
+    /// Registers `tid` as a durability waiter of `txn`, arranging a flush
+    /// if the transaction is past the point where one would happen.
+    pub(crate) fn await_txn_durable(
+        &mut self,
+        tid: ThreadId,
+        txn: TxnId,
+        out: &mut Vec<FsAction>,
+    ) {
+        let state = self.txns.get(&txn).expect("txn").state;
+        debug_assert!(state < TxnState::Durable, "awaiting already-durable txn");
+        self.txns
+            .get_mut(&txn)
+            .expect("txn")
+            .durable_waiters
+            .push(tid);
+        if state == TxnState::Transferred {
+            self.request_txn_flush(out);
+        }
+        self.syscalls
+            .insert(tid, SyscallState::AwaitTxnDurable { txn });
+    }
+
+    /// Records data pages that must precede the next commit (ordered-mode
+    /// data dependency, tracked for the crash checker).
+    pub(crate) fn note_ordered_data(&mut self, pairs: &[(Lba, BlockTag)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut scratch = Vec::new();
+        let rt = self.ensure_running(&mut scratch);
+        debug_assert!(scratch.is_empty());
+        self.txns
+            .get_mut(&rt)
+            .expect("running")
+            .ordered_data
+            .extend_from_slice(pairs);
+    }
+
+    /// Removes a thread's syscall-state entry (it completed).
+    pub(crate) fn clear_syscall(&mut self, tid: ThreadId) {
+        self.syscalls.remove(&tid);
+    }
+
+    /// Adjusts the global dirty-page counter after a bulk removal.
+    pub(crate) fn note_dirty_drop(&mut self, n: u64) {
+        self.dirty_total = self.dirty_total.saturating_sub(n);
+    }
+
+    /// Blocks `tid` awaiting data-write completions.
+    pub(crate) fn set_state_await_data(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        reqs: Vec<ReqId>,
+        then: AfterData,
+    ) {
+        self.syscalls.insert(
+            tid,
+            SyscallState::AwaitData {
+                pending: reqs.into_iter().collect(),
+                file,
+                then,
+            },
+        );
+    }
+
+    /// Blocks `tid` awaiting a transaction's durability.
+    pub(crate) fn set_state_await_durable(&mut self, tid: ThreadId, txn: TxnId) {
+        self.syscalls
+            .insert(tid, SyscallState::AwaitTxnDurable { txn });
+    }
+
+    /// Blocks `tid` awaiting a transaction's JC transfer.
+    pub(crate) fn set_state_await_transferred(&mut self, tid: ThreadId, txn: TxnId) {
+        self.syscalls
+            .insert(tid, SyscallState::AwaitTxnTransferred { txn });
+    }
+
+    // ------------------------------------------------------------------
+    // Reads.
+    // ------------------------------------------------------------------
+
+    /// Reads `blocks` blocks at `offset`. Served from the page cache when
+    /// possible (no sleep); otherwise one device read (one sleep).
+    pub fn read(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        offset: u64,
+        blocks: u64,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        let f = self.files.get(file);
+        let cached = (offset..offset + blocks).all(|b| {
+            f.dirty_data.contains_key(&b) || f.committed_blocks.contains_key(&b)
+        });
+        if cached {
+            return SyscallOutcome::Done;
+        }
+        let Some(start) = f.lba_of(offset) else {
+            return SyscallOutcome::Done; // hole: zeros, no IO
+        };
+        let rid = self.alloc_req(Purpose::Read(tid));
+        out.push(FsAction::Submit(BlockRequest::read(rid, start, blocks)));
+        self.syscalls.insert(tid, SyscallState::AwaitRead);
+        SyscallOutcome::Blocked
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling.
+    // ------------------------------------------------------------------
+
+    /// Processes an event previously emitted via [`FsAction::After`] or a
+    /// request completion routed from the block layer.
+    pub fn handle(&mut self, ev: FsEvent, now: SimTime, out: &mut Vec<FsAction>) {
+        match ev {
+            FsEvent::ReqDone(rid) => self.on_req_done(rid, now, out),
+            FsEvent::Step(tid) => self.on_step(tid, now, out),
+            FsEvent::CommitRun => self.on_commit_run(now, out),
+            FsEvent::Pdflush => {
+                self.pdflush(out);
+                out.push(FsAction::After(
+                    self.cfg.writeback_interval,
+                    FsEvent::Pdflush,
+                ));
+            }
+            FsEvent::OptfsFlush => {
+                self.optfs_periodic_flush(out);
+                out.push(FsAction::After(
+                    self.cfg.optfs_flush_interval,
+                    FsEvent::OptfsFlush,
+                ));
+            }
+        }
+    }
+
+    fn on_req_done(&mut self, rid: ReqId, now: SimTime, out: &mut Vec<FsAction>) {
+        let purpose = self
+            .purposes
+            .remove(&rid)
+            .expect("completion for unknown request");
+        match purpose {
+            Purpose::Data(tid) => self.on_data_done(tid, rid, out),
+            Purpose::Jd(txn) => self.on_jd_done(txn, out),
+            Purpose::Jc(txn) => self.on_jc_done(txn, now, out),
+            Purpose::ThreadFlush(tid) => {
+                let st = self.syscalls.remove(&tid);
+                debug_assert!(matches!(st, Some(SyscallState::AwaitFlush)));
+                out.push(FsAction::CtxSwitch(tid));
+                out.push(FsAction::Wake(tid));
+            }
+            Purpose::TxnFlush { upto } => self.on_txn_flush_done(upto, out),
+            Purpose::Checkpoint(txn) => self.on_checkpoint_done(txn, out),
+            Purpose::Writeback => {}
+            Purpose::Read(tid) => {
+                let st = self.syscalls.remove(&tid);
+                debug_assert!(matches!(st, Some(SyscallState::AwaitRead)));
+                out.push(FsAction::CtxSwitch(tid));
+                out.push(FsAction::Wake(tid));
+            }
+        }
+    }
+
+    fn on_data_done(&mut self, tid: ThreadId, rid: ReqId, out: &mut Vec<FsAction>) {
+        let Some(SyscallState::AwaitData {
+            pending,
+            file,
+            then,
+        }) = self.syscalls.get_mut(&tid)
+        else {
+            // A data write submitted by a call that has since completed
+            // (e.g. fdatabarrier); nothing to continue.
+            return;
+        };
+        pending.remove(&rid);
+        if !pending.is_empty() {
+            return;
+        }
+        let (file, then) = (*file, *then);
+        // All data transferred: the caller wakes (context switch) and
+        // continues after the scheduling delay.
+        self.syscalls
+            .insert(tid, SyscallState::Stepping { file, then });
+        out.push(FsAction::CtxSwitch(tid));
+        out.push(FsAction::After(self.cfg.ctx_switch, FsEvent::Step(tid)));
+    }
+
+    fn on_step(&mut self, tid: ThreadId, now: SimTime, out: &mut Vec<FsAction>) {
+        let Some(SyscallState::Stepping { file, then }) = self.syscalls.get(&tid).cloned() else {
+            return;
+        };
+        self.syscalls.remove(&tid);
+        match then {
+            AfterData::Ext4Phase2 { datasync } => {
+                if self.ext4_phase2(tid, file, datasync, out) == SyscallOutcome::Done {
+                    out.push(FsAction::Wake(tid));
+                }
+            }
+            AfterData::FlushThenWake => {
+                let rid = self.alloc_req(Purpose::ThreadFlush(tid));
+                self.stats.flushes += 1;
+                out.push(FsAction::Submit(BlockRequest::flush(rid)));
+                self.syscalls.insert(tid, SyscallState::AwaitFlush);
+            }
+            AfterData::OptfsScan { durable } => {
+                let _ = file;
+                let _ = now;
+                let _ = self.optfs_commit_and_wait(tid, durable, out);
+            }
+        }
+    }
+
+    /// Re-runs a write blocked on an EXT4 page conflict.
+    pub(crate) fn retry_conflicted_write(
+        &mut self,
+        tid: ThreadId,
+        now: SimTime,
+        out: &mut Vec<FsAction>,
+    ) {
+        let Some(SyscallState::AwaitConflict {
+            file,
+            offset,
+            blocks,
+        }) = self.syscalls.get(&tid).cloned()
+        else {
+            return;
+        };
+        self.syscalls.remove(&tid);
+        match self.write(tid, file, offset, blocks, now, out) {
+            SyscallOutcome::Done => {
+                out.push(FsAction::CtxSwitch(tid));
+                out.push(FsAction::Wake(tid));
+            }
+            SyscallOutcome::Blocked => { /* conflicted again; stays blocked */ }
+        }
+    }
+
+    /// Background writeback: submits orderless writes for dirty pages.
+    fn pdflush(&mut self, out: &mut Vec<FsAction>) {
+        let mut budget = self.cfg.writeback_batch;
+        let ids: Vec<FileId> = self.files.ids().collect();
+        for id in ids {
+            if budget == 0 {
+                break;
+            }
+            if self.files.get(id).dirty_data.is_empty() {
+                continue;
+            }
+            // Writing back data pages does not commit metadata; take up to
+            // `budget` pages.
+            let taken: Vec<(u64, BlockTag)> = {
+                let f = self.files.get_mut(id);
+                let keys: Vec<u64> = f.dirty_data.keys().copied().take(budget).collect();
+                keys.iter()
+                    .map(|b| (*b, f.dirty_data.remove(b).expect("present")))
+                    .collect()
+            };
+            budget = budget.saturating_sub(taken.len());
+            self.dirty_total = self.dirty_total.saturating_sub(taken.len() as u64);
+            for (b, tag) in taken {
+                let f = self.files.get_mut(id);
+                f.committed_blocks.insert(b, ());
+                let lba = f.lba_of(b).expect("allocated");
+                let rid = self.alloc_req(Purpose::Writeback);
+                self.stats.writeback_blocks += 1;
+                out.push(FsAction::Submit(BlockRequest::write(
+                    rid,
+                    lba,
+                    vec![tag],
+                    ReqFlags::NONE,
+                )));
+            }
+        }
+    }
+}

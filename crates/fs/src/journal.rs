@@ -1,0 +1,577 @@
+//! Journal commit machinery: the legacy JBD thread (EXT4 / EXT4-nobarrier
+//! / OptFS) and BarrierFS Dual-Mode Journaling (§4.2).
+//!
+//! Legacy commit (Eq. 2 of the paper):
+//!
+//! ```text
+//! D → xfer → JD → xfer → JC(FLUSH|FUA)            one committing txn
+//! ```
+//!
+//! Dual-mode commit (Eq. 3):
+//!
+//! ```text
+//! commit thread:  D(ordered) → JD(ordered|barrier) → JC(ordered|barrier)
+//! flush thread:   ... JC transferred → [flush if durability wanted]
+//! ```
+//!
+//! The commit thread never waits for a transfer, so the interval between
+//! journal commits shrinks from `tD + tC + tF` to `tD` (Fig 8), and many
+//! transactions can be in the committing list at once.
+
+use bio_block::{BlockRequest, ReqFlags};
+use bio_sim::SimTime;
+
+use crate::config::FsMode;
+use crate::file::FileId;
+use crate::fs::{AfterData, Filesystem, FsAction, FsEvent, Purpose, SyscallOutcome};
+use crate::recovery::TxnRecord;
+use crate::txn::{ThreadId, TxnId, TxnState};
+
+impl Filesystem {
+    /// Requests a commit of `txn` (which must be the running transaction)
+    /// and schedules the commit thread.
+    pub(crate) fn trigger_commit(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+        debug_assert_eq!(self.running, Some(txn));
+        self.txns.get_mut(&txn).expect("txn").commit_requested = true;
+        self.schedule_commit_run(out);
+    }
+
+    pub(crate) fn schedule_commit_run(&mut self, out: &mut Vec<FsAction>) {
+        if self.commit_scheduled {
+            return;
+        }
+        self.commit_scheduled = true;
+        out.push(FsAction::After(
+            self.cfg.commit_thread_wake,
+            FsEvent::CommitRun,
+        ));
+    }
+
+    /// The commit thread body.
+    pub(crate) fn on_commit_run(&mut self, _now: SimTime, out: &mut Vec<FsAction>) {
+        self.commit_scheduled = false;
+        match self.cfg.mode {
+            FsMode::BarrierFs => self.dual_mode_commit(out),
+            _ => self.jbd_commit(out),
+        }
+    }
+
+    /// Legacy JBD: at most one committing transaction; JD then JC with
+    /// Wait-on-Transfer between them (the JC submit happens in
+    /// `on_jd_done`).
+    fn jbd_commit(&mut self, out: &mut Vec<FsAction>) {
+        // A commit is already in flight: it will reschedule us when done.
+        if !self.committing.is_empty() {
+            return;
+        }
+        let Some(rt) = self.running else { return };
+        if !self.txns[&rt].commit_requested {
+            return;
+        }
+        if !self.freeze_running(rt) {
+            return; // journal space stall; retried on checkpoint completion
+        }
+        // Submit JD (descriptor + logs) as one plain write; JC follows its
+        // completion (Wait-on-Transfer).
+        self.submit_jd(rt, ReqFlags::NONE, out);
+    }
+
+    /// BarrierFS commit thread: commits the running transaction with
+    /// order-preserving requests and immediately becomes available for the
+    /// next one. No transfer waits anywhere.
+    fn dual_mode_commit(&mut self, out: &mut Vec<FsAction>) {
+        loop {
+            let Some(rt) = self.running else { return };
+            if !self.txns[&rt].commit_requested {
+                return;
+            }
+            // §4.3: the running transaction commits only once the
+            // conflict-page list is empty.
+            if !self.conflicts.is_empty() {
+                return;
+            }
+            if !self.freeze_running(rt) {
+                return; // journal space stall
+            }
+            self.submit_jd(rt, ReqFlags::BARRIER, out);
+            self.submit_jc(rt, ReqFlags::BARRIER, out);
+            // Wake fbarrier callers: ordering is now in flight (§4.2, "in
+            // ordering guarantee the commit thread wakes up the caller").
+            let waiters =
+                std::mem::take(&mut self.txns.get_mut(&rt).expect("txn").dispatch_waiters);
+            for tid in waiters {
+                self.clear_syscall(tid);
+                out.push(FsAction::CtxSwitch(tid));
+                out.push(FsAction::Wake(tid));
+            }
+            // Loop: if another running transaction with a pending request
+            // appeared, commit it too (committing list grows).
+        }
+    }
+
+    /// Freezes the running transaction into the committing list. Returns
+    /// false when the journal has no room (commit retried after
+    /// checkpointing frees space).
+    fn freeze_running(&mut self, rt: TxnId) -> bool {
+        let blocks = self.txns[&rt].journal_blocks();
+        if self.journal_used + blocks > self.cfg.journal_blocks {
+            self.journal_stalled = true;
+            return false;
+        }
+        self.journal_used += blocks;
+        let txn = self.txns.get_mut(&rt).expect("txn");
+        txn.state = TxnState::Committing;
+        let buffers: Vec<FileId> = txn.buffers.iter().map(|(_, f, _)| *f).collect();
+        self.committing.push(rt);
+        self.running = None;
+        self.stats.commits += 1;
+        // Clear per-file dirt for the frozen buffers; the buffers stay
+        // owned by this transaction until release.
+        for f in buffers {
+            let file = self.files.get_mut(f);
+            file.alloc_dirty = false;
+            file.mtime_dirty = false;
+        }
+        true
+    }
+
+    fn submit_jd(&mut self, txn: TxnId, extra: ReqFlags, out: &mut Vec<FsAction>) {
+        let (n_logs, data_journal) = {
+            let t = &self.txns[&txn];
+            (t.buffers.len() as u64, t.data_journal.len() as u64)
+        };
+        let jd_blocks = 1 + n_logs + data_journal;
+        let lba = self.layout.alloc_journal(jd_blocks + 1); // + commit block
+        let tags = self.layout.next_tags(jd_blocks as usize);
+        let jc_lba = bio_flash::Lba(lba.0 + jd_blocks);
+        {
+            let t = self.txns.get_mut(&txn).expect("txn");
+            t.jd_lba = Some(lba);
+            t.jd_tags = tags.clone();
+            t.jc_lba = Some(jc_lba);
+        }
+        let rid = self.alloc_req(Purpose::Jd(txn));
+        self.stats.journal_blocks += jd_blocks;
+        let flags = ReqFlags {
+            ordered: extra.ordered || extra.barrier,
+            barrier: extra.barrier,
+            fua: false,
+            preflush: false,
+        };
+        out.push(FsAction::Submit(BlockRequest::write(rid, lba, tags, flags)));
+    }
+
+    pub(crate) fn submit_jc(&mut self, txn: TxnId, extra: ReqFlags, out: &mut Vec<FsAction>) {
+        let jc_lba = self.txns[&txn].jc_lba.expect("jc placed with jd");
+        let tag = self.layout.next_tag();
+        self.txns.get_mut(&txn).expect("txn").jc_tag = Some(tag);
+        let rid = self.alloc_req(Purpose::Jc(txn));
+        self.stats.journal_blocks += 1;
+        let flags = match self.cfg.mode {
+            FsMode::Ext4 => ReqFlags::FLUSH_FUA,
+            FsMode::Ext4NoBarrier | FsMode::OptFs => ReqFlags::NONE,
+            FsMode::BarrierFs => ReqFlags {
+                ordered: true,
+                barrier: extra.barrier,
+                fua: false,
+                preflush: false,
+            },
+        };
+        out.push(FsAction::Submit(BlockRequest::write(
+            rid,
+            jc_lba,
+            vec![tag],
+            flags,
+        )));
+        // The commit is now fully described: record ground truth.
+        self.record_txn(txn);
+    }
+
+    fn record_txn(&mut self, txn: TxnId) {
+        let t = &self.txns[&txn];
+        self.records.push(TxnRecord {
+            id: txn.0,
+            jd_lba: t.jd_lba.expect("jd placed"),
+            jd_tags: t.jd_tags.clone(),
+            jc_lba: t.jc_lba.expect("jc placed"),
+            jc_tag: t.jc_tag.expect("jc tagged"),
+            meta_home: t.buffers.iter().map(|(l, _, tag)| (*l, *tag)).collect(),
+            data_home: t.data_journal.clone(),
+            ordered_data: t.ordered_data.clone(),
+            durability_claimed: false,
+        });
+    }
+
+    /// JD transfer completed (legacy modes only — BarrierFS needs no
+    /// action here because JC was dispatched back-to-back).
+    pub(crate) fn on_jd_done(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+        if self.cfg.mode == FsMode::BarrierFs {
+            return;
+        }
+        self.submit_jc(txn, ReqFlags::NONE, out);
+    }
+
+    /// JC transfer completed: the commit is transferred; durability and
+    /// release depend on the mode.
+    pub(crate) fn on_jc_done(&mut self, txn: TxnId, now: SimTime, out: &mut Vec<FsAction>) {
+        self.txns.get_mut(&txn).expect("txn").state = TxnState::Transferred;
+        // OptFS osync waiters are satisfied by the transfer.
+        let transfer_waiters =
+            std::mem::take(&mut self.txns.get_mut(&txn).expect("txn").transfer_waiters);
+        for tid in transfer_waiters {
+            self.clear_syscall(tid);
+            out.push(FsAction::CtxSwitch(tid));
+            out.push(FsAction::Wake(tid));
+        }
+        match self.cfg.mode {
+            FsMode::Ext4 => {
+                // JC carried FLUSH|FUA: everything up to here is durable.
+                self.mark_durable(txn, true, out);
+                self.release_txn(txn, now, true, out);
+                self.after_commit_slot_freed(out);
+            }
+            FsMode::Ext4NoBarrier => {
+                // No flush anywhere: the transaction is *treated* as
+                // complete at transfer. Durability is not actually
+                // guaranteed — exactly the nobarrier trade-off; the crash
+                // checker is told no durability was promised.
+                self.mark_durable(txn, false, out);
+                self.release_txn(txn, now, true, out);
+                self.after_commit_slot_freed(out);
+            }
+            FsMode::OptFs => {
+                // Delayed durability: the periodic flusher upgrades the
+                // transaction later; fsync-style callers get a flush now.
+                let urgent = !self.txns[&txn].durable_waiters.is_empty();
+                // Release buffers (writers unblock) but checkpoint only
+                // after durability.
+                self.release_txn(txn, now, false, out);
+                if urgent {
+                    self.request_txn_flush(out);
+                }
+                self.after_commit_slot_freed(out);
+            }
+            FsMode::BarrierFs => {
+                // Flush thread: flush if anyone wants durability of this
+                // or an earlier transferred transaction; otherwise release
+                // immediately (ordering-only commit).
+                let wants_flush = self.committing.iter().any(|t| {
+                    let tx = &self.txns[t];
+                    tx.state == TxnState::Transferred && !tx.durable_waiters.is_empty()
+                });
+                if wants_flush {
+                    self.request_txn_flush(out);
+                } else {
+                    self.release_txn(txn, now, true, out);
+                }
+            }
+        }
+    }
+
+    /// Issues a flush covering every currently transferred transaction
+    /// (the flush thread's job). Coalesces with an in-flight flush.
+    pub(crate) fn request_txn_flush(&mut self, out: &mut Vec<FsAction>) {
+        if self.flush_inflight {
+            self.flush_again = true;
+            return;
+        }
+        let upto = self
+            .txns
+            .iter()
+            .filter(|(_, t)| t.state == TxnState::Transferred)
+            .map(|(id, _)| *id)
+            .max();
+        let Some(upto) = upto else { return };
+        self.flush_inflight = true;
+        let rid = self.alloc_req(Purpose::TxnFlush { upto });
+        self.stats.flushes += 1;
+        out.push(FsAction::Submit(BlockRequest::flush(rid)));
+    }
+
+    pub(crate) fn on_txn_flush_done(&mut self, upto: TxnId, out: &mut Vec<FsAction>) {
+        self.flush_inflight = false;
+        // Every transaction transferred before the flush is now durable.
+        let mut ready: Vec<TxnId> = self
+            .txns
+            .iter()
+            .filter(|(id, t)| id.0 <= upto.0 && t.state == TxnState::Transferred)
+            .map(|(id, _)| *id)
+            .collect();
+        ready.sort();
+        let now = SimTime::ZERO; // release paths do not use wall time
+        for t in ready {
+            self.mark_durable(t, true, out);
+            if self.committing.contains(&t) {
+                // BarrierFS: the flush thread releases the transaction.
+                self.release_txn(t, now, true, out);
+            } else {
+                // OptFS: released at transfer; checkpoint now.
+                self.start_checkpoint(t, out);
+            }
+        }
+        if self.flush_again {
+            self.flush_again = false;
+            self.request_txn_flush(out);
+        }
+    }
+
+    /// Marks `txn` durable and wakes its durability waiters. When
+    /// `real_durability` is false (nobarrier) the wake happens but no
+    /// durability claim is recorded — the crash checker must not hold the
+    /// filesystem to a promise it never made.
+    pub(crate) fn mark_durable(
+        &mut self,
+        txn: TxnId,
+        real_durability: bool,
+        out: &mut Vec<FsAction>,
+    ) {
+        let t = self.txns.get_mut(&txn).expect("txn");
+        if t.state >= TxnState::Durable {
+            return;
+        }
+        t.state = TxnState::Durable;
+        let waiters = std::mem::take(&mut t.durable_waiters);
+        let claimed = real_durability && !waiters.is_empty();
+        if claimed {
+            t.durability_claimed = true;
+            if let Some(r) = self.records.iter_mut().find(|r| r.id == txn.0) {
+                r.durability_claimed = true;
+            }
+        }
+        for tid in waiters {
+            self.clear_syscall(tid);
+            out.push(FsAction::CtxSwitch(tid));
+            out.push(FsAction::Wake(tid));
+        }
+    }
+
+    /// Removes the transaction from the committing list, resolves page
+    /// conflicts it was holding, releases file buffers, and (optionally)
+    /// starts the checkpoint.
+    pub(crate) fn release_txn(
+        &mut self,
+        txn: TxnId,
+        now: SimTime,
+        checkpoint: bool,
+        out: &mut Vec<FsAction>,
+    ) {
+        self.committing.retain(|t| *t != txn);
+        // Release inode buffers.
+        let files: Vec<FileId> = self.txns[&txn].buffers.iter().map(|(_, f, _)| *f).collect();
+        for f in files {
+            if self.files.get(f).txn == Some(txn) {
+                self.files.get_mut(f).txn = None;
+            }
+        }
+        // Resolve conflict-page-list entries held by this transaction:
+        // their buffers join the running transaction with current content.
+        let resolved = self.conflicts.resolve(txn);
+        for e in resolved {
+            let tag = self.files.get(e.file).meta_tag;
+            self.dirty_inode(e.file, e.lba, tag, out);
+        }
+        if self.conflicts.is_empty() {
+            // The running transaction may have been waiting on conflicts.
+            if let Some(rt) = self.running {
+                if self.txns[&rt].commit_requested {
+                    self.schedule_commit_run(out);
+                }
+            }
+        }
+        // Wake EXT4 writers blocked on the conflict.
+        let writers = std::mem::take(&mut self.txns.get_mut(&txn).expect("txn").conflict_waiters);
+        for tid in writers {
+            self.retry_conflicted_write(tid, now, out);
+        }
+        if checkpoint {
+            self.start_checkpoint(txn, out);
+        }
+    }
+
+    /// Called when a legacy (single-slot) commit finishes, to start the
+    /// next requested commit.
+    fn after_commit_slot_freed(&mut self, out: &mut Vec<FsAction>) {
+        if let Some(rt) = self.running {
+            if self.txns[&rt].commit_requested {
+                self.schedule_commit_run(out);
+            }
+        }
+    }
+
+    /// Submits the in-place metadata (and OptFS data) writes of a released
+    /// transaction.
+    pub(crate) fn start_checkpoint(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+        let writes: Vec<(bio_flash::Lba, bio_flash::BlockTag)> = {
+            let t = &self.txns[&txn];
+            t.buffers
+                .iter()
+                .map(|(l, _, tag)| (*l, *tag))
+                .chain(t.data_journal.iter().copied())
+                .collect()
+        };
+        if writes.is_empty() {
+            self.finish_checkpoint(txn, out);
+            return;
+        }
+        // BarrierFS checkpoints with ordered requests so an in-place write
+        // can never overtake the journal commit it depends on; legacy
+        // modes checkpoint after durability, so plain writes suffice.
+        let flags = if self.cfg.mode == FsMode::BarrierFs {
+            ReqFlags::ORDERED
+        } else {
+            ReqFlags::NONE
+        };
+        self.checkpoints_left.insert(txn, writes.len());
+        for (lba, tag) in writes {
+            let rid = self.alloc_req(Purpose::Checkpoint(txn));
+            self.stats.checkpoint_blocks += 1;
+            out.push(FsAction::Submit(BlockRequest::write(
+                rid,
+                lba,
+                vec![tag],
+                flags,
+            )));
+        }
+    }
+
+    pub(crate) fn on_checkpoint_done(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+        let left = self
+            .checkpoints_left
+            .get_mut(&txn)
+            .expect("checkpoint accounting");
+        *left -= 1;
+        if *left == 0 {
+            self.checkpoints_left.remove(&txn);
+            self.finish_checkpoint(txn, out);
+        }
+    }
+
+    fn finish_checkpoint(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+        let blocks = self.txns[&txn].journal_blocks();
+        self.journal_used = self.journal_used.saturating_sub(blocks);
+        // The transaction is complete; drop it (records keep the history).
+        self.txns.remove(&txn);
+        if self.journal_stalled {
+            self.journal_stalled = false;
+            self.schedule_commit_run(out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // OptFS.
+    // ------------------------------------------------------------------
+
+    /// `osync` (and OptFS `fsync`/`fdatasync` when `durable` is true):
+    /// Wait-on-Transfer ordering with selective data journaling and
+    /// delayed durability.
+    pub(crate) fn optfs_osync(
+        &mut self,
+        tid: ThreadId,
+        file: FileId,
+        _datasync: bool,
+        durable: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        // Selective data journaling: overwrites of committed content are
+        // journaled; fresh allocations write in place.
+        let (in_place, journaled): (Vec<(u64, bio_flash::BlockTag)>, Vec<_>) = {
+            let f = self.files.get_mut(file);
+            let all: Vec<(u64, bio_flash::BlockTag)> =
+                f.dirty_data.iter().map(|(&b, &t)| (b, t)).collect();
+            f.dirty_data.clear();
+            all.into_iter()
+                .partition(|(b, _)| !f.committed_blocks.contains_key(b))
+        };
+        self.note_dirty_drop((in_place.len() + journaled.len()) as u64);
+        // Journaled data joins the running transaction.
+        if !journaled.is_empty() {
+            let rt = self.ensure_running(out);
+            let entries: Vec<(bio_flash::Lba, bio_flash::BlockTag)> = journaled
+                .iter()
+                .map(|&(b, t)| {
+                    let f = self.files.get_mut(file);
+                    f.committed_blocks.insert(b, ());
+                    (f.lba_of(b).expect("allocated"), t)
+                })
+                .collect();
+            self.txns
+                .get_mut(&rt)
+                .expect("running")
+                .data_journal
+                .extend(entries);
+        }
+        // In-place data is submitted and awaited (Wait-on-Transfer).
+        if !in_place.is_empty() {
+            let mut reqs = Vec::new();
+            let mut pairs = Vec::new();
+            for (b, tag) in in_place {
+                let f = self.files.get_mut(file);
+                f.committed_blocks.insert(b, ());
+                let lba = f.lba_of(b).expect("allocated");
+                let rid = self.alloc_req(Purpose::Data(tid));
+                self.stats.data_blocks += 1;
+                out.push(FsAction::Submit(BlockRequest::write(
+                    rid,
+                    lba,
+                    vec![tag],
+                    ReqFlags::NONE,
+                )));
+                reqs.push(rid);
+                pairs.push((lba, tag));
+            }
+            self.note_ordered_data(&pairs);
+            self.set_state_await_data(tid, file, reqs, AfterData::OptfsScan { durable });
+            return SyscallOutcome::Blocked;
+        }
+        self.optfs_commit_and_wait(tid, durable, out)
+    }
+
+    /// Triggers an OptFS commit (including the page-scan latency) and
+    /// blocks the caller on transfer (osync) or durability (fsync).
+    pub(crate) fn optfs_commit_and_wait(
+        &mut self,
+        tid: ThreadId,
+        durable: bool,
+        out: &mut Vec<FsAction>,
+    ) -> SyscallOutcome {
+        let rt = self.ensure_running(out);
+        // Page-scanning overhead proportional to the transaction size
+        // (§6.5: selective data journaling increases the pages to scan).
+        let pages = self.txns[&rt].journal_blocks();
+        let scan = bio_sim::SimDuration::from_nanos(self.cfg.optfs_scan_per_page.as_nanos() * pages);
+        {
+            let t = self.txns.get_mut(&rt).expect("running");
+            t.commit_requested = true;
+            if durable {
+                t.durable_waiters.push(tid);
+            } else {
+                t.transfer_waiters.push(tid);
+            }
+        }
+        if !self.commit_scheduled {
+            self.commit_scheduled = true;
+            out.push(FsAction::After(
+                self.cfg.commit_thread_wake + scan,
+                FsEvent::CommitRun,
+            ));
+        }
+        if durable {
+            self.set_state_await_durable(tid, rt);
+        } else {
+            self.set_state_await_transferred(tid, rt);
+        }
+        SyscallOutcome::Blocked
+    }
+
+    /// Periodic OptFS flusher: upgrade transferred transactions to
+    /// durable.
+    pub(crate) fn optfs_periodic_flush(&mut self, out: &mut Vec<FsAction>) {
+        let any_transferred = self
+            .txns
+            .values()
+            .any(|t| t.state == TxnState::Transferred);
+        if any_transferred {
+            self.request_txn_flush(out);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Journal transactions and their lifecycle.
+//!
+//! ```text
+//! Running ──commit──▶ Committing ──JC transferred──▶ Transferred
+//!                                                        │ flush
+//!                                                        ▼
+//!                        Checkpointed ◀──in-place──── Durable
+//! ```
+//!
+//! EXT4 has at most one `Committing` transaction; BarrierFS keeps a whole
+//! *committing transaction list* in flight (§4.2) — that difference is the
+//! throughput story of Fig 8/13.
+
+use bio_flash::{BlockTag, Lba};
+
+use crate::file::FileId;
+
+/// Transaction identifier; ordering equals commit order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// Lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TxnState {
+    /// Accepting buffers.
+    Running,
+    /// JD/JC dispatched (or dispatching); in the committing list.
+    Committing,
+    /// JC transfer completed: storage order fixed, durability pending.
+    Transferred,
+    /// Flushed to the storage surface.
+    Durable,
+    /// Metadata written home; journal space reclaimable.
+    Checkpointed,
+}
+
+/// A simulated thread identifier (application threads, not kernel ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+/// One journal transaction.
+#[derive(Debug, Clone)]
+pub struct Txn {
+    /// Identifier (= commit order).
+    pub id: TxnId,
+    /// State.
+    pub state: TxnState,
+    /// Metadata buffers: inode home LBA → (file, frozen content tag).
+    /// Tags are frozen at commit time.
+    pub buffers: Vec<(Lba, FileId, BlockTag)>,
+    /// OptFS selective data journaling: data home LBA → journaled tag.
+    pub data_journal: Vec<(Lba, BlockTag)>,
+    /// Data writes that must persist before this commit (ordered mode).
+    pub ordered_data: Vec<(Lba, BlockTag)>,
+    /// Journal placement (set when the commit is dispatched).
+    pub jd_lba: Option<Lba>,
+    /// Descriptor + log block tags.
+    pub jd_tags: Vec<BlockTag>,
+    /// Commit block placement.
+    pub jc_lba: Option<Lba>,
+    /// Commit block tag.
+    pub jc_tag: Option<BlockTag>,
+    /// Threads waiting for durability (fsync).
+    pub durable_waiters: Vec<ThreadId>,
+    /// Threads waiting for the commit dispatch (fbarrier).
+    pub dispatch_waiters: Vec<ThreadId>,
+    /// Threads waiting for the JC transfer (OptFS `osync`).
+    pub transfer_waiters: Vec<ThreadId>,
+    /// EXT4 writers blocked on a page conflict with this transaction;
+    /// retried when the transaction releases its buffers.
+    pub conflict_waiters: Vec<ThreadId>,
+    /// A commit has been requested (fsync/fbarrier arrived or the commit
+    /// timer fired).
+    pub commit_requested: bool,
+    /// Whether any completed syscall claimed durability of this
+    /// transaction to its caller (used by the crash checker).
+    pub durability_claimed: bool,
+}
+
+impl Txn {
+    /// Creates an empty running transaction.
+    pub fn new(id: TxnId) -> Txn {
+        Txn {
+            id,
+            state: TxnState::Running,
+            buffers: Vec::new(),
+            data_journal: Vec::new(),
+            ordered_data: Vec::new(),
+            jd_lba: None,
+            jd_tags: Vec::new(),
+            jc_lba: None,
+            jc_tag: None,
+            durable_waiters: Vec::new(),
+            dispatch_waiters: Vec::new(),
+            transfer_waiters: Vec::new(),
+            conflict_waiters: Vec::new(),
+            commit_requested: false,
+            durability_claimed: false,
+        }
+    }
+
+    /// Adds or refreshes a metadata buffer.
+    pub fn add_buffer(&mut self, lba: Lba, file: FileId, tag: BlockTag) {
+        debug_assert_eq!(self.state, TxnState::Running, "buffer into non-running txn");
+        if let Some(b) = self.buffers.iter_mut().find(|(l, _, _)| *l == lba) {
+            b.2 = tag;
+        } else {
+            self.buffers.push((lba, file, tag));
+        }
+    }
+
+    /// True when the transaction has nothing to commit.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty() && self.data_journal.is_empty()
+    }
+
+    /// Journal blocks this transaction occupies: descriptor + one log per
+    /// metadata buffer + data-journal pages + commit block.
+    pub fn journal_blocks(&self) -> u64 {
+        1 + self.buffers.len() as u64 + self.data_journal.len() as u64 + 1
+    }
+}
+
+/// The conflict-page list of §4.3: metadata buffers a writer dirtied while
+/// their inode was held by a committing transaction.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictList {
+    entries: Vec<ConflictEntry>,
+}
+
+/// One conflict entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictEntry {
+    /// The inode buffer.
+    pub lba: Lba,
+    /// Its file.
+    pub file: FileId,
+    /// The committing transaction holding the buffer.
+    pub holder: TxnId,
+}
+
+impl ConflictList {
+    /// Creates an empty list.
+    pub fn new() -> ConflictList {
+        ConflictList::default()
+    }
+
+    /// True when the running transaction may commit (§4.3: "only when the
+    /// conflict-page list is empty").
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of outstanding conflicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Registers a conflict (idempotent per buffer).
+    pub fn add(&mut self, lba: Lba, file: FileId, holder: TxnId) {
+        if !self.entries.iter().any(|e| e.lba == lba) {
+            self.entries.push(ConflictEntry { lba, file, holder });
+        }
+    }
+
+    /// True if `lba` is currently conflicted.
+    pub fn contains(&self, lba: Lba) -> bool {
+        self.entries.iter().any(|e| e.lba == lba)
+    }
+
+    /// Removes and returns the conflicts resolved by `holder` completing.
+    pub fn resolve(&mut self, holder: TxnId) -> Vec<ConflictEntry> {
+        let (resolved, kept): (Vec<_>, Vec<_>) =
+            self.entries.drain(..).partition(|e| e.holder == holder);
+        self.entries = kept;
+        resolved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_buffer_dedup() {
+        let mut t = Txn::new(TxnId(1));
+        t.add_buffer(Lba(5), FileId(0), BlockTag(1));
+        t.add_buffer(Lba(5), FileId(0), BlockTag(2));
+        t.add_buffer(Lba(6), FileId(1), BlockTag(3));
+        assert_eq!(t.buffers.len(), 2);
+        assert_eq!(t.buffers[0].2, BlockTag(2), "refresh keeps latest tag");
+    }
+
+    #[test]
+    fn journal_block_accounting() {
+        let mut t = Txn::new(TxnId(1));
+        assert!(t.is_empty());
+        assert_eq!(t.journal_blocks(), 2); // desc + commit even when empty
+        t.add_buffer(Lba(1), FileId(0), BlockTag(1));
+        t.data_journal.push((Lba(100), BlockTag(9)));
+        assert_eq!(t.journal_blocks(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn state_order_matches_lifecycle() {
+        assert!(TxnState::Running < TxnState::Committing);
+        assert!(TxnState::Committing < TxnState::Transferred);
+        assert!(TxnState::Transferred < TxnState::Durable);
+        assert!(TxnState::Durable < TxnState::Checkpointed);
+    }
+
+    #[test]
+    fn conflict_list_resolution() {
+        let mut c = ConflictList::new();
+        c.add(Lba(1), FileId(0), TxnId(1));
+        c.add(Lba(1), FileId(0), TxnId(1)); // dedup
+        c.add(Lba(2), FileId(1), TxnId(2));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(Lba(1)));
+        let resolved = c.resolve(TxnId(1));
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(resolved[0].lba, Lba(1));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert!(c.resolve(TxnId(2)).len() == 1);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Direct tests of the `Filesystem` state machine: drive syscalls and
+//! inspect the emitted actions without a device underneath.
+
+use bio_block::{ReqFlags, ReqId, ReqOp};
+use bio_fs::{Filesystem, FsAction, FsConfig, FsEvent, FsMode, SyscallOutcome, ThreadId};
+use bio_sim::{SimDuration, SimTime};
+
+const T0: ThreadId = ThreadId(0);
+
+fn submits(actions: &[FsAction]) -> Vec<(ReqId, ReqFlags, bool)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            FsAction::Submit(r) => Some((r.id, r.flags, matches!(r.op, ReqOp::Flush))),
+            _ => None,
+        })
+        .collect()
+}
+
+fn wakes(actions: &[FsAction]) -> usize {
+    actions
+        .iter()
+        .filter(|a| matches!(a, FsAction::Wake(_)))
+        .count()
+}
+
+fn setup(mode: FsMode) -> (Filesystem, bio_fs::FileId) {
+    let mut fs = Filesystem::new(FsConfig::new(mode));
+    let mut out = Vec::new();
+    let f = fs.create(T0, &mut out);
+    (fs, f)
+}
+
+#[test]
+fn buffered_write_emits_nothing() {
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = Vec::new();
+    let r = fs.write(T0, f, 0, 4, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Done);
+    assert!(
+        submits(&out).is_empty(),
+        "buffered writes stay in the page cache"
+    );
+}
+
+#[test]
+fn fdatabarrier_submits_barrier_write_and_returns() {
+    let (mut fs, f) = setup(FsMode::BarrierFs);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
+    out.clear();
+    let r = fs.fdatabarrier(T0, f, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Done, "the storage mfence never blocks");
+    let subs = submits(&out);
+    assert_eq!(subs.len(), 1, "one contiguous ordered write");
+    let (_, flags, is_flush) = subs[0];
+    assert!(!is_flush);
+    assert!(flags.ordered && flags.barrier, "ordered+barrier: {flags:?}");
+    assert_eq!(wakes(&out), 0);
+}
+
+#[test]
+fn fdatabarrier_with_nothing_dirty_forces_a_commit() {
+    let (mut fs, f) = setup(FsMode::BarrierFs);
+    // Drain the create's metadata first.
+    let mut out = Vec::new();
+    let r = fs.fsync(T0, f, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Blocked);
+    // No dirty data now: fdatabarrier must still delimit an epoch (§4.2)
+    // by requesting a journal commit, without blocking.
+    out.clear();
+    let r = fs.fdatabarrier(ThreadId(1), f, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Done);
+    assert!(fs.stats().forced_commits > 0, "forced commit recorded");
+}
+
+#[test]
+fn ext4_jc_carries_flush_fua() {
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
+    out.clear();
+    // fsync: data first.
+    assert_eq!(
+        fs.fsync(T0, f, SimTime::ZERO, &mut out),
+        SyscallOutcome::Blocked
+    );
+    let data = submits(&out);
+    assert_eq!(data.len(), 1);
+    assert_eq!(data[0].1, ReqFlags::NONE, "EXT4 data writes are orderless");
+    // Complete the data write; the caller steps, then triggers the commit.
+    let data_rid = data[0].0;
+    out.clear();
+    fs.handle(FsEvent::ReqDone(data_rid), SimTime::from_micros(100), &mut out);
+    // Walk the scheduled continuations until JD is submitted.
+    let mut all = out.clone();
+    for _ in 0..4 {
+        let next: Vec<FsEvent> = all
+            .iter()
+            .filter_map(|a| match a {
+                FsAction::After(_, ev) => Some(*ev),
+                _ => None,
+            })
+            .collect();
+        all.clear();
+        for ev in next {
+            fs.handle(ev, SimTime::from_micros(200), &mut all);
+        }
+        if !submits(&all).is_empty() {
+            break;
+        }
+    }
+    let jd = submits(&all);
+    assert_eq!(jd.len(), 1, "JD submitted");
+    assert_eq!(jd[0].1, ReqFlags::NONE, "legacy JD is a plain write");
+    // JD transfer completes -> JC with FLUSH|FUA.
+    let jd_rid = jd[0].0;
+    let mut out = Vec::new();
+    fs.handle(FsEvent::ReqDone(jd_rid), SimTime::from_micros(300), &mut out);
+    let jc = submits(&out);
+    assert_eq!(jc.len(), 1, "JC submitted after JD transfer (Eq. 2)");
+    assert!(jc[0].1.fua && jc[0].1.preflush, "JC is FLUSH|FUA");
+}
+
+#[test]
+fn barrierfs_commit_dispatches_jd_and_jc_back_to_back() {
+    let (mut fs, f) = setup(FsMode::BarrierFs);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
+    out.clear();
+    assert_eq!(
+        fs.fsync(T0, f, SimTime::ZERO, &mut out),
+        SyscallOutcome::Blocked
+    );
+    // D went out ordered, commit scheduled.
+    let d = submits(&out);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].1.ordered && !d[0].1.barrier, "D is ordered, not barrier");
+    // Run the commit thread.
+    let mut out = Vec::new();
+    fs.handle(FsEvent::CommitRun, SimTime::from_micros(50), &mut out);
+    let js = submits(&out);
+    assert_eq!(js.len(), 2, "JD and JC dispatched together (no xfer wait)");
+    assert!(js[0].1.barrier, "JD closes the {{D, JD}} epoch");
+    assert!(js[1].1.barrier, "JC is its own epoch");
+    assert_eq!(fs.committing_count(), 1);
+}
+
+#[test]
+fn barrierfs_overlapping_commits_grow_the_list() {
+    let (mut fs, f) = setup(FsMode::BarrierFs);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
+    out.clear();
+    fs.fsync(T0, f, SimTime::ZERO, &mut out);
+    let mut out = Vec::new();
+    fs.handle(FsEvent::CommitRun, SimTime::from_micros(50), &mut out);
+    assert_eq!(fs.committing_count(), 1);
+    // A second transaction (a fresh file, so no page conflict with the
+    // committing one) commits while the first is still in flight.
+    let mut out = Vec::new();
+    let g = fs.create(ThreadId(1), &mut out);
+    fs.write(ThreadId(1), g, 0, 1, SimTime::from_micros(60), &mut out);
+    fs.fsync(ThreadId(1), g, SimTime::from_micros(60), &mut out);
+    let mut out = Vec::new();
+    fs.handle(FsEvent::CommitRun, SimTime::from_micros(100), &mut out);
+    assert_eq!(
+        fs.committing_count(),
+        2,
+        "dual-mode journaling keeps several committing transactions"
+    );
+}
+
+#[test]
+fn optfs_journals_overwrites_selectively() {
+    let (mut fs, f) = setup(FsMode::OptFs);
+    let mut out = Vec::new();
+    // First write: fresh allocation -> in-place.
+    fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
+    out.clear();
+    assert_eq!(
+        fs.fbarrier(T0, f, SimTime::ZERO, &mut out),
+        SyscallOutcome::Blocked,
+        "osync waits on transfer"
+    );
+    let first = submits(&out);
+    assert_eq!(first.len(), 2, "fresh blocks write in place");
+    // Complete them and the commit, then overwrite the same blocks.
+    for (rid, _, _) in &first {
+        let mut o = Vec::new();
+        fs.handle(FsEvent::ReqDone(*rid), SimTime::from_micros(100), &mut o);
+    }
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 2, SimTime::from_millis(1), &mut out);
+    out.clear();
+    fs.fbarrier(T0, f, SimTime::from_millis(1), &mut out);
+    assert!(
+        submits(&out).is_empty(),
+        "overwrites of committed content are data-journaled, not written in place"
+    );
+}
+
+#[test]
+fn unlink_dirties_metadata() {
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
+    out.clear();
+    fs.unlink(T0, f, &mut out);
+    // The unlink joined the running transaction; an fsync on another file
+    // will commit it. (Smoke check via stats after a forced commit.)
+    assert_eq!(fs.stats().commits, 0);
+}
+
+#[test]
+fn read_hits_page_cache_synchronously() {
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
+    out.clear();
+    let r = fs.read(T0, f, 0, 2, &mut out);
+    assert_eq!(r, SyscallOutcome::Done, "dirty pages serve reads");
+    assert!(submits(&out).is_empty());
+    // A hole read is also synchronous (zeros).
+    let r = fs.read(T0, f, 100, 1, &mut out);
+    assert_eq!(r, SyscallOutcome::Done);
+}
+
+#[test]
+fn timer_tick_degenerates_fsync() {
+    // Two writes within one tick: the second does not re-dirty metadata,
+    // so after the first commit an fsync takes the flush-only path.
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = Vec::new();
+    fs.write(T0, f, 0, 1, SimTime::from_micros(10), &mut out);
+    // Drain: pretend the commit completed by checking metadata flags via
+    // a second write in the same tick.
+    let tick = SimDuration::from_millis(4);
+    let later = SimTime::ZERO + tick.mul_f64(0.5);
+    out.clear();
+    fs.write(T0, f, 0, 1, later, &mut out);
+    // Same tick, same block, already allocated: no inode action needed.
+    assert!(submits(&out).is_empty());
+}

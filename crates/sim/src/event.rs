@@ -1,0 +1,230 @@
+//! The event queue and simulation executor scaffolding.
+//!
+//! A discrete-event simulation advances virtual time by repeatedly popping
+//! the earliest scheduled event. [`EventQueue`] is a priority queue ordered
+//! by `(time, sequence)` — the sequence number makes events scheduled for the
+//! same instant pop in FIFO order, which keeps simulations deterministic.
+//!
+//! ```
+//! use bio_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::from_micros(5), "late");
+//! q.push(SimTime::from_micros(1), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (SimTime::from_micros(1), "early"));
+//! ```
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An entry in the queue. Only `at` and `seq` participate in ordering; the
+/// payload is opaque.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* entry.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timed events.
+///
+/// Events at equal timestamps are delivered in insertion order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; in debug builds it panics,
+    /// in release builds the event fires "now" (monotonicity is preserved).
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Schedules `event` after a relative delay from the current time.
+    pub fn push_after(&mut self, delay: SimDuration, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (delivered after everything
+    /// already scheduled for this instant).
+    pub fn push_now(&mut self, event: E) {
+        self.push(self.now, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> core::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(3), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(3));
+    }
+
+    #[test]
+    fn push_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), "a");
+        q.pop();
+        q.push_after(SimDuration::from_micros(5), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn push_now_preserves_fifo_at_same_instant() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(1), "first");
+        q.pop();
+        q.push_now("second");
+        q.push_now("third");
+        assert_eq!(q.pop().unwrap().1, "second");
+        assert_eq!(q.pop().unwrap().1, "third");
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 5);
+        q.push(SimTime::from_nanos(1), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push(SimTime::from_nanos(3), 3);
+        q.push(SimTime::from_nanos(8), 8);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 8);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! # bio-sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the barrier-enabled IO stack reproduction. Everything
+//! above this crate (flash device, block layer, filesystem, workloads) is a
+//! state machine driven by events popped from an [`EventQueue`]; this crate
+//! supplies the primitives they share:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond virtual time,
+//! * [`EventQueue`] — the deterministic `(time, seq)`-ordered event heap,
+//! * [`SimRng`] — seeded xoshiro256++ randomness,
+//! * [`LatencyHistogram`] / [`LatencySummary`] — percentile statistics
+//!   (the paper's Table 1 shape),
+//! * [`TimeSeries`] — step-function recording for queue-depth plots
+//!   (Figs 10 and 12).
+//!
+//! The simulation is single-threaded on purpose: simulated concurrency
+//! (application threads, the JBD commit thread, the flush thread, the device
+//! controller) is modelled as interleaved events, so every run is exactly
+//! reproducible from its seed.
+//!
+//! ```
+//! use bio_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { DmaDone, FlushDone }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_micros(70), Ev::DmaDone);
+//! q.push(SimTime::from_micros(500), Ev::FlushDone);
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, Ev::DmaDone);
+//! assert_eq!(t, SimTime::from_micros(70));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod series;
+mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use series::TimeSeries;
+pub use stats::{mean_f64, Counter, LatencyHistogram, LatencySummary};
+pub use time::{SimDuration, SimTime};

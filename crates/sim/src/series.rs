@@ -1,0 +1,202 @@
+//! Time-series recording for queue-depth style measurements.
+//!
+//! Figures 10 and 12 of the paper plot the device command-queue depth over
+//! time. [`TimeSeries`] records `(time, value)` step changes and can compute
+//! the time-weighted average, the maximum, and a down-sampled trace for
+//! plotting.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A step-function time series: the value holds from each sample until the
+/// next one.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Records that the value became `value` at time `t`.
+    ///
+    /// Out-of-order samples are a logic error and panic in debug builds;
+    /// samples at the same instant overwrite (the last write wins, matching
+    /// "state at the end of the event cascade").
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(last) = self.points.last_mut() {
+            debug_assert!(last.0 <= t, "time series went backwards");
+            if last.0 == t {
+                last.1 = value;
+                return;
+            }
+            // Skip redundant samples to bound memory on long runs.
+            if (last.1 - value).abs() < f64::EPSILON {
+                return;
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of recorded step changes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw `(time, value)` step points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// The value in effect at time `t` (0.0 before the first sample).
+    pub fn value_at(&self, t: SimTime) -> f64 {
+        match self.points.binary_search_by(|p| p.0.cmp(&t)) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Time-weighted mean over `[from, to)`. Returns 0 for empty windows.
+    pub fn weighted_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from || self.points.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0f64;
+        let mut cursor = from;
+        let mut value = self.value_at(from);
+        let start = self.points.partition_point(|p| p.0 <= from);
+        for &(t, v) in &self.points[start..] {
+            if t >= to {
+                break;
+            }
+            acc += value * t.since(cursor).as_nanos() as f64;
+            cursor = t;
+            value = v;
+        }
+        acc += value * to.since(cursor).as_nanos() as f64;
+        acc / to.since(from).as_nanos() as f64
+    }
+
+    /// Maximum value observed within `[from, to)` (including the value
+    /// carried into the window).
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut max = self.value_at(from);
+        let start = self.points.partition_point(|p| p.0 <= from);
+        for &(t, v) in &self.points[start..] {
+            if t >= to {
+                break;
+            }
+            max = max.max(v);
+        }
+        max
+    }
+
+    /// Down-samples the series to at most `buckets` evenly spaced samples in
+    /// `[from, to)`, returning `(bucket_start, time_weighted_mean)` pairs.
+    /// Suitable for ASCII plots of Figs 10/12.
+    pub fn resample(&self, from: SimTime, to: SimTime, buckets: usize) -> Vec<(SimTime, f64)> {
+        if buckets == 0 || to <= from {
+            return Vec::new();
+        }
+        let span = to.since(from);
+        let step = SimDuration::from_nanos((span.as_nanos() / buckets as u64).max(1));
+        let mut out = Vec::with_capacity(buckets);
+        let mut start = from;
+        for _ in 0..buckets {
+            let end = (start + step).min(to);
+            out.push((start, self.weighted_mean(start, end)));
+            start = end;
+            if start >= to {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(10), 1.0);
+        ts.record(us(20), 3.0);
+        assert_eq!(ts.value_at(us(5)), 0.0);
+        assert_eq!(ts.value_at(us(10)), 1.0);
+        assert_eq!(ts.value_at(us(15)), 1.0);
+        assert_eq!(ts.value_at(us(20)), 3.0);
+        assert_eq!(ts.value_at(us(99)), 3.0);
+    }
+
+    #[test]
+    fn same_instant_overwrites() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(10), 1.0);
+        ts.record(us(10), 2.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.value_at(us(10)), 2.0);
+    }
+
+    #[test]
+    fn redundant_samples_skipped() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(1), 4.0);
+        ts.record(us(2), 4.0);
+        ts.record(us(3), 5.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn weighted_mean_of_step() {
+        let mut ts = TimeSeries::new();
+        // 0 until t=10, then 2 until t=20, then 4.
+        ts.record(us(10), 2.0);
+        ts.record(us(20), 4.0);
+        // Window [0, 20): half zero, half 2 -> 1.0
+        assert!((ts.weighted_mean(us(0), us(20)) - 1.0).abs() < 1e-9);
+        // Window [10, 30): half 2, half 4 -> 3.0
+        assert!((ts.weighted_mean(us(10), us(30)) - 3.0).abs() < 1e-9);
+        // Degenerate window.
+        assert_eq!(ts.weighted_mean(us(5), us(5)), 0.0);
+    }
+
+    #[test]
+    fn max_in_window() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(10), 2.0);
+        ts.record(us(20), 9.0);
+        ts.record(us(30), 1.0);
+        assert_eq!(ts.max_in(us(0), us(15)), 2.0);
+        assert_eq!(ts.max_in(us(0), us(25)), 9.0);
+        // Value carried into the window counts.
+        assert_eq!(ts.max_in(us(21), us(25)), 9.0);
+        assert_eq!(ts.max_in(us(31), us(40)), 1.0);
+    }
+
+    #[test]
+    fn resample_covers_window() {
+        let mut ts = TimeSeries::new();
+        ts.record(us(0), 1.0);
+        ts.record(us(50), 3.0);
+        let samples = ts.resample(us(0), us(100), 10);
+        assert_eq!(samples.len(), 10);
+        assert!((samples[0].1 - 1.0).abs() < 1e-9);
+        assert!((samples[9].1 - 3.0).abs() < 1e-9);
+        assert!(ts.resample(us(10), us(10), 4).is_empty());
+        assert!(ts.resample(us(0), us(100), 0).is_empty());
+    }
+}

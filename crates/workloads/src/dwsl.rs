@@ -1,0 +1,129 @@
+//! fxmark's modified DWSL workload (Fig 13): every thread appends one
+//! 4 KiB block to its own private file and fsyncs, repeatedly — the
+//! canonical journaling-scalability stressor, because every append is an
+//! allocating write and therefore forces a real journal commit.
+
+use barrier_io::{FileRef, Op, Workload};
+use bio_sim::SimRng;
+
+use crate::SyncMode;
+
+/// Per-thread allocating-write + sync loop.
+#[derive(Debug, Clone)]
+pub struct Dwsl {
+    sync: SyncMode,
+    writes: u64,
+    issued: u64,
+    offset: u64,
+    created: bool,
+    phase: Phase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Write,
+    Sync,
+    Mark,
+}
+
+impl Dwsl {
+    /// `writes` append+sync operations on a fresh private file.
+    pub fn new(sync: SyncMode, writes: u64) -> Dwsl {
+        Dwsl {
+            sync,
+            writes,
+            issued: 0,
+            offset: 0,
+            created: false,
+            phase: Phase::Write,
+        }
+    }
+}
+
+impl Workload for Dwsl {
+    fn next_op(&mut self, _rng: &mut SimRng) -> Option<Op> {
+        if !self.created {
+            self.created = true;
+            return Some(Op::Create { slot: 0 });
+        }
+        let file = FileRef::Slot(0);
+        loop {
+            match self.phase {
+                Phase::Write => {
+                    if self.issued >= self.writes {
+                        return None;
+                    }
+                    self.issued += 1;
+                    let offset = self.offset;
+                    self.offset += 1;
+                    self.phase = Phase::Sync;
+                    return Some(Op::Write {
+                        file,
+                        offset,
+                        blocks: 1,
+                    });
+                }
+                Phase::Sync => {
+                    self.phase = Phase::Mark;
+                    if let Some(op) = self.sync.op(file) {
+                        return Some(op);
+                    }
+                }
+                Phase::Mark => {
+                    self.phase = Phase::Write;
+                    return Some(Op::TxnMark);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_create_then_write_sync_mark() {
+        let mut w = Dwsl::new(SyncMode::Fsync, 2);
+        let mut rng = SimRng::new(1);
+        let ops: Vec<Op> = std::iter::from_fn(|| w.next_op(&mut rng)).collect();
+        assert!(matches!(ops[0], Op::Create { slot: 0 }));
+        assert!(matches!(
+            ops[1],
+            Op::Write {
+                offset: 0,
+                blocks: 1,
+                ..
+            }
+        ));
+        assert!(matches!(ops[2], Op::Fsync { .. }));
+        assert_eq!(ops[3], Op::TxnMark);
+        assert!(matches!(ops[4], Op::Write { offset: 1, .. }));
+        assert_eq!(ops.len(), 7);
+    }
+
+    #[test]
+    fn appends_are_allocating() {
+        // Offsets strictly increase: every write extends the file.
+        let mut w = Dwsl::new(SyncMode::Fbarrier, 5);
+        let mut rng = SimRng::new(1);
+        let mut last = None;
+        while let Some(op) = w.next_op(&mut rng) {
+            if let Op::Write { offset, .. } = op {
+                if let Some(prev) = last {
+                    assert!(offset > prev);
+                }
+                last = Some(offset);
+            }
+        }
+        assert_eq!(last, Some(4));
+    }
+
+    #[test]
+    fn none_sync_skips_sync_ops() {
+        let mut w = Dwsl::new(SyncMode::None, 2);
+        let mut rng = SimRng::new(1);
+        let ops: Vec<Op> = std::iter::from_fn(|| w.next_op(&mut rng)).collect();
+        assert!(!ops.iter().any(|o| matches!(o, Op::Fsync { .. })));
+    }
+}

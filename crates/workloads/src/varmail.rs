@@ -1,0 +1,136 @@
+//! Filebench varmail (Fig 15): a mail-server loop, metadata-intensive and
+//! famous for its heavy fsync traffic.
+//!
+//! One iteration per mailbox message, following filebench's varmail
+//! personality: delete an old mail file, create + write + sync a new one,
+//! re-open + append + sync another, then read one. Mail sizes are a few
+//! blocks, drawn uniformly.
+
+use barrier_io::{FileRef, Op, Workload};
+use bio_sim::SimRng;
+
+use crate::SyncMode;
+
+/// Mail-server workload over a pool of per-thread files.
+#[derive(Debug, Clone)]
+pub struct Varmail {
+    sync: SyncMode,
+    iterations: u64,
+    done: u64,
+    /// Pool of mail files (thread-private slots), used round-robin.
+    pool: usize,
+    cursor: usize,
+    created: usize,
+    max_mail_blocks: u64,
+    queue: std::collections::VecDeque<Op>,
+}
+
+impl Varmail {
+    /// `iterations` mail loops with a pool of `pool` files per thread.
+    pub fn new(sync: SyncMode, iterations: u64, pool: usize) -> Varmail {
+        Varmail {
+            sync,
+            iterations,
+            done: 0,
+            pool: pool.max(2),
+            cursor: 0,
+            created: 0,
+            max_mail_blocks: 4,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn push_sync(&mut self, file: FileRef) {
+        if let Some(op) = self.sync.op(file) {
+            self.queue.push_back(op);
+        }
+    }
+
+    fn refill(&mut self, rng: &mut SimRng) {
+        let slot_new = self.cursor % self.pool;
+        let slot_old = (self.cursor + 1) % self.pool;
+        self.cursor += 1;
+        let blocks = rng.range(1, self.max_mail_blocks);
+
+        // deletefile: drop the oldest mail (only once the pool is primed).
+        if self.created >= self.pool {
+            self.queue.push_back(Op::Unlink {
+                file: FileRef::Slot(slot_new),
+            });
+        }
+        // createfile + appendfilerand + fsync.
+        self.queue.push_back(Op::Create { slot: slot_new });
+        self.created += 1;
+        self.queue.push_back(Op::Write {
+            file: FileRef::Slot(slot_new),
+            offset: 0,
+            blocks,
+        });
+        self.push_sync(FileRef::Slot(slot_new));
+        // openfile + appendfilerand + fsync on an existing mail.
+        if self.created > 1 {
+            let target = FileRef::Slot(slot_old.min(self.created - 1));
+            self.queue.push_back(Op::Write {
+                file: target,
+                offset: self.max_mail_blocks,
+                blocks: rng.range(1, 2),
+            });
+            self.push_sync(target);
+            // readfile.
+            self.queue.push_back(Op::Read {
+                file: target,
+                offset: 0,
+                blocks: 1,
+            });
+        }
+        self.queue.push_back(Op::TxnMark);
+    }
+}
+
+impl Workload for Varmail {
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
+        if self.queue.is_empty() {
+            if self.done >= self.iterations {
+                return None;
+            }
+            self.done += 1;
+            self.refill(rng);
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_shape() {
+        let mut w = Varmail::new(SyncMode::Fsync, 3, 4);
+        let mut rng = SimRng::new(1);
+        let ops: Vec<Op> = std::iter::from_fn(|| w.next_op(&mut rng)).collect();
+        let fsyncs = ops.iter().filter(|o| matches!(o, Op::Fsync { .. })).count();
+        // First iteration has 1 sync (no older file yet), later ones 2.
+        assert_eq!(fsyncs, 1 + 2 + 2);
+        assert_eq!(ops.iter().filter(|o| **o == Op::TxnMark).count(), 3);
+        assert!(ops.iter().any(|o| matches!(o, Op::Read { .. })));
+        assert!(ops.iter().any(|o| matches!(o, Op::Create { .. })));
+    }
+
+    #[test]
+    fn deletes_once_pool_is_full() {
+        let mut w = Varmail::new(SyncMode::Fbarrier, 6, 2);
+        let mut rng = SimRng::new(2);
+        let ops: Vec<Op> = std::iter::from_fn(|| w.next_op(&mut rng)).collect();
+        assert!(ops.iter().any(|o| matches!(o, Op::Unlink { .. })));
+    }
+
+    #[test]
+    fn ordering_mode_uses_fbarrier() {
+        let mut w = Varmail::new(SyncMode::Fbarrier, 2, 4);
+        let mut rng = SimRng::new(3);
+        let ops: Vec<Op> = std::iter::from_fn(|| w.next_op(&mut rng)).collect();
+        assert!(ops.iter().any(|o| matches!(o, Op::Fbarrier { .. })));
+        assert!(!ops.iter().any(|o| matches!(o, Op::Fsync { .. })));
+    }
+}

@@ -1,0 +1,60 @@
+//! Anatomy of a journal commit: the Fig 3 / Fig 7 / Fig 8 story.
+//!
+//! Shows, for one `write(); fsync()` under each journaling discipline,
+//! where the time goes — and how the interval between back-to-back
+//! commits shrinks from `tD + tC + tF` (EXT4 full flush) to `tD`
+//! (BarrierFS dual-mode journaling).
+//!
+//! Run with: `cargo run --release --example journal_modes`
+
+use barrier_io::{DeviceProfile, IoStack, OpKind, SimDuration, StackConfig, Workload};
+use bio_workloads::{Dwsl, SyncMode};
+
+fn fsync_breakdown(label: &str, cfg: StackConfig) {
+    let n = 2_000;
+    let mut cfg = cfg;
+    cfg.fs.timer_tick = SimDuration::from_micros(1); // every fsync commits
+    let mut stack = IoStack::new(cfg);
+    let mut w = Some(Box::new(Dwsl::new(SyncMode::Fsync, n)) as Box<dyn Workload>);
+    stack.add_thread(w.take().expect("workload"));
+    stack.start_measuring();
+    assert!(stack.run_until_done(SimDuration::from_secs(600)));
+    let report = stack.report();
+    let f = report.run.op(OpKind::Fsync).expect("fsync ran");
+    println!(
+        "{label:<36} fsync mean {:>9}  p99 {:>9}  {:.2} switches  {:>6} commits  {:>6} flushes",
+        f.latency.mean.to_string(),
+        f.latency.p99.to_string(),
+        f.switches_per_op,
+        report.fs.commits,
+        report.fs.flushes,
+    );
+}
+
+fn main() {
+    println!("Journal commit anatomy: 2000 allocating write+fsync pairs, plain-SSD\n");
+    fsync_breakdown(
+        "EXT4 full flush (FLUSH|FUA commit)",
+        StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
+    );
+    fsync_breakdown(
+        "EXT4 nobarrier (no flush at all)",
+        StackConfig::ext4_od(DeviceProfile::plain_ssd()),
+    );
+    fsync_breakdown("EXT4 quick flush (PLP device)", {
+        let mut d = DeviceProfile::plain_ssd();
+        d.plp = true;
+        d.name = "plain-SSD+PLP".into();
+        StackConfig::ext4_dr(d)
+    });
+    fsync_breakdown(
+        "BarrierFS dual-mode journaling",
+        StackConfig::bfs(DeviceProfile::plain_ssd()),
+    );
+    println!(
+        "\nReading Fig 7 off these rows: EXT4 interleaves D, JD and JC with\n\
+         transfer waits and two flush points; BarrierFS dispatches all three\n\
+         in order-preserving mode and pays a single flush at the end — fewer\n\
+         context switches, one flush, and commits that overlap."
+    );
+}

@@ -1,0 +1,107 @@
+//! Quickstart: the "Hello before World" guarantee from §4.1 of the paper.
+//!
+//! ```text
+//! write(fileA, "Hello");
+//! fdatabarrier(fileA);
+//! write(fileA, "World");
+//! ```
+//!
+//! On the barrier-enabled stack, `fdatabarrier` is a storage mfence: it
+//! returns immediately (no flush, no transfer wait), yet "Hello" can never
+//! reach the flash after "World". This example runs that exact program,
+//! crashes the device at a random point, and audits the survivors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use barrier_io::{
+    BarrierMode, DeviceProfile, FileRef, IoStack, Op, OpKind, ScriptWorkload, SimDuration,
+    StackConfig,
+};
+
+fn ordering_program(file: usize) -> Vec<Op> {
+    let f = FileRef::Global(file);
+    vec![
+        // "Hello": block 0.
+        Op::Write {
+            file: f,
+            offset: 0,
+            blocks: 1,
+        },
+        // The storage mfence.
+        Op::Fdatabarrier { file: f },
+        // "World": block 1.
+        Op::Write {
+            file: f,
+            offset: 1,
+            blocks: 1,
+        },
+    ]
+}
+
+fn main() {
+    println!("Barrier-Enabled IO Stack — quickstart\n");
+
+    // 1. A barrier-enabled stack: BarrierFS over the order-preserving
+    //    block layer over a barrier-compliant UFS device.
+    let cfg = StackConfig::bfs(DeviceProfile::ufs()).with_history();
+    let mut stack = IoStack::new(cfg);
+    let file = stack.create_global_file();
+    stack.add_thread(Box::new(ScriptWorkload::repeat(
+        ordering_program(file),
+        200,
+    )));
+
+    // Run a bit, then pull the plug mid-flight.
+    stack.run_for(SimDuration::from_millis(7));
+    let crash = stack.crash();
+    println!(
+        "BarrierFS on barrier device: crashed after {} — {} fs violations, {} epoch violations",
+        stack.now(),
+        crash.fs_violations.len(),
+        crash.epoch_violations.len()
+    );
+    assert!(crash.is_consistent(), "the barrier stack must never reorder");
+
+    // 2. The same program on a legacy stack over an ORDERLESS device,
+    //    relying on nothing at all (plain writes): ordering can break.
+    let mut broken_crashes = 0;
+    for seed in 0..20 {
+        let mut dev = DeviceProfile::ufs().with_barrier_mode(BarrierMode::Unsupported);
+        dev.cache_blocks = 48; // small cache: the orderless destage engine is busy
+        let cfg = StackConfig::bfs(dev).with_seed(seed).with_history();
+        let mut legacy = IoStack::new(cfg);
+        let file = legacy.create_global_file();
+        legacy.add_thread(Box::new(ScriptWorkload::repeat(
+            ordering_program(file),
+            200,
+        )));
+        legacy.run_for(SimDuration::from_millis(4 + seed * 2));
+        if !legacy.crash().epoch_violations.is_empty() {
+            broken_crashes += 1;
+        }
+    }
+    println!(
+        "same barriers, firmware ignores them: {broken_crashes}/20 crashes reordered \"Hello\"/\"World\""
+    );
+
+    // 3. And the performance side: the barrier costs (almost) nothing.
+    let mut stack = IoStack::new(StackConfig::bfs(DeviceProfile::ufs()));
+    let file = stack.create_global_file();
+    stack.add_thread(Box::new(ScriptWorkload::repeat(
+        ordering_program(file),
+        2_000,
+    )));
+    stack.start_measuring();
+    stack.run_until_done(SimDuration::from_secs(60));
+    let report = stack.report();
+    let fdb = report.run.op(OpKind::Fdatabarrier).expect("ran");
+    println!(
+        "\n2000 ordered pairs in {} simulated; fdatabarrier: {} calls, \
+         {:.2} context switches each, mean latency {}",
+        report.run.elapsed,
+        fdb.count,
+        fdb.switches_per_op,
+        fdb.latency.mean
+    );
+    println!("device wrote {:.1} K blocks/s", report.write_kiops);
+}

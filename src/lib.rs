@@ -1,0 +1,7 @@
+//! Root facade re-exporting the whole workspace. See README.md.
+pub use barrier_io as stack;
+pub use bio_block as block;
+pub use bio_flash as flash;
+pub use bio_fs as fs;
+pub use bio_sim as sim;
+pub use bio_workloads as workloads;

@@ -1,0 +1,156 @@
+//! Workspace-level integration tests: application workloads through every
+//! layer (workload generator → filesystem → block layer → device), with
+//! shape assertions matching the paper's headline claims.
+
+use barrier_io::{DeviceProfile, FileRef, IoStack, SimDuration, StackConfig};
+use bio_workloads::{Dwsl, OltpInsert, Sqlite, SqliteJournalMode, SyncMode, Varmail};
+
+fn sqlite_tps(cfg: StackConfig, mk: fn(SqliteJournalMode, FileRef, FileRef, u64) -> Sqlite) -> f64 {
+    let mut stack = IoStack::new(cfg);
+    let db = stack.create_global_file();
+    let journal = stack.create_global_file();
+    stack.add_thread(Box::new(mk(
+        SqliteJournalMode::Persist,
+        FileRef::Global(db),
+        FileRef::Global(journal),
+        400,
+    )));
+    stack.start_measuring();
+    assert!(stack.run_until_done(SimDuration::from_secs(600)));
+    stack.report().run.txns_per_sec()
+}
+
+#[test]
+fn sqlite_substitution_ladder() {
+    // EXT4-DR < BFS-DR < BFS-OD, on both device classes (Fig 14 shape).
+    for dev in [DeviceProfile::ufs(), DeviceProfile::plain_ssd()] {
+        let ext4 = sqlite_tps(StackConfig::ext4_dr(dev.clone()), Sqlite::durability);
+        let bfs_dr = sqlite_tps(StackConfig::bfs(dev.clone()), Sqlite::barrier_durability);
+        let bfs_od = sqlite_tps(StackConfig::bfs(dev.clone()), Sqlite::ordering);
+        assert!(
+            ext4 < bfs_dr && bfs_dr < bfs_od,
+            "{}: ladder broken: EXT4-DR {ext4:.0} / BFS-DR {bfs_dr:.0} / BFS-OD {bfs_od:.0}",
+            dev.name
+        );
+        // The paper's headline: relaxing durability is worth an order of
+        // magnitude or more on the server SSD.
+        if dev.name == "plain-SSD" {
+            assert!(
+                bfs_od > 20.0 * ext4,
+                "plain-SSD: BFS-OD should dwarf EXT4-DR ({bfs_od:.0} vs {ext4:.0})"
+            );
+        }
+    }
+}
+
+#[test]
+fn dwsl_scales_better_on_barrierfs() {
+    // Fig 13 shape at one point: 8 threads on plain-SSD.
+    let run = |cfg: StackConfig| -> f64 {
+        let mut stack = IoStack::new(cfg);
+        for _ in 0..8 {
+            stack.add_thread(Box::new(Dwsl::new(SyncMode::Fsync, 150)));
+        }
+        stack.start_measuring();
+        assert!(stack.run_until_done(SimDuration::from_secs(600)));
+        stack.report().run.txns_per_sec()
+    };
+    let ext4 = run(StackConfig::ext4_dr(DeviceProfile::plain_ssd()));
+    let bfs = run(StackConfig::bfs(DeviceProfile::plain_ssd()));
+    assert!(
+        bfs > ext4 * 1.15,
+        "BFS-DR {bfs:.0} ops/s should clearly beat EXT4-DR {ext4:.0}"
+    );
+}
+
+#[test]
+fn varmail_and_oltp_follow_the_fig15_order() {
+    let varmail = |cfg: StackConfig, sync: SyncMode| -> f64 {
+        let mut stack = IoStack::new(cfg);
+        for _ in 0..8 {
+            stack.add_thread(Box::new(Varmail::new(sync, 60, 6)));
+        }
+        stack.start_measuring();
+        assert!(stack.run_until_done(SimDuration::from_secs(600)));
+        stack.report().run.txns_per_sec()
+    };
+    let dev = DeviceProfile::plain_ssd();
+    let ext4_dr = varmail(StackConfig::ext4_dr(dev.clone()), SyncMode::Fsync);
+    let bfs_dr = varmail(StackConfig::bfs(dev.clone()), SyncMode::Fsync);
+    let bfs_od = varmail(StackConfig::bfs(dev.clone()), SyncMode::Fbarrier);
+    assert!(
+        ext4_dr < bfs_dr && bfs_dr < bfs_od,
+        "varmail order broken: {ext4_dr:.0} / {bfs_dr:.0} / {bfs_od:.0}"
+    );
+
+    let oltp = |cfg: StackConfig, sync: SyncMode| -> f64 {
+        let mut stack = IoStack::new(cfg);
+        let t = stack.create_global_file();
+        let r = stack.create_global_file();
+        let b = stack.create_global_file();
+        for _ in 0..4 {
+            stack.add_thread(Box::new(OltpInsert::new(
+                sync,
+                FileRef::Global(t),
+                FileRef::Global(r),
+                FileRef::Global(b),
+                150,
+            )));
+        }
+        stack.start_measuring();
+        assert!(stack.run_until_done(SimDuration::from_secs(600)));
+        stack.report().run.txns_per_sec()
+    };
+    let ext4_dr = oltp(StackConfig::ext4_dr(dev.clone()), SyncMode::Fsync);
+    let bfs_od = oltp(StackConfig::bfs(dev.clone()), SyncMode::Fbarrier);
+    assert!(
+        bfs_od > 10.0 * ext4_dr,
+        "OLTP: ordering-only should dwarf full durability ({bfs_od:.0} vs {ext4_dr:.0})"
+    );
+}
+
+#[test]
+fn optfs_sits_between_durability_and_barrier_stacks() {
+    // §6.5: OptFS beats transfer-and-flush but loses to BarrierFS-OD
+    // (it still waits on transfer and pays selective data journaling).
+    let dev = DeviceProfile::plain_ssd();
+    let ext4_dr = sqlite_tps(StackConfig::ext4_dr(dev.clone()), Sqlite::durability);
+    let optfs = sqlite_tps(StackConfig::optfs(dev.clone()), Sqlite::ordering);
+    let bfs_od = sqlite_tps(StackConfig::bfs(dev.clone()), Sqlite::ordering);
+    assert!(
+        ext4_dr < optfs && optfs < bfs_od,
+        "OptFS should sit between: EXT4-DR {ext4_dr:.0} / OptFS {optfs:.0} / BFS-OD {bfs_od:.0}"
+    );
+}
+
+#[test]
+fn supercap_compresses_the_gap() {
+    // On a PLP device flushes are nearly free, so EXT4-DR and BFS-DR
+    // converge (the paper's supercap columns are always the closest).
+    let plain_gap = {
+        let e = sqlite_tps(
+            StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
+            Sqlite::durability,
+        );
+        let b = sqlite_tps(
+            StackConfig::bfs(DeviceProfile::plain_ssd()),
+            Sqlite::barrier_durability,
+        );
+        b / e
+    };
+    let supercap_gap = {
+        let e = sqlite_tps(
+            StackConfig::ext4_dr(DeviceProfile::supercap_ssd()),
+            Sqlite::durability,
+        );
+        let b = sqlite_tps(
+            StackConfig::bfs(DeviceProfile::supercap_ssd()),
+            Sqlite::barrier_durability,
+        );
+        b / e
+    };
+    assert!(
+        supercap_gap < plain_gap,
+        "PLP should shrink the BFS advantage: plain {plain_gap:.2}x vs supercap {supercap_gap:.2}x"
+    );
+}
