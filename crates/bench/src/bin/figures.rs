@@ -19,7 +19,10 @@ fn main() {
             "--all" => wanted.push("all".into()),
             "--fig" => {
                 i += 1;
-                wanted.push(format!("fig{}", args.get(i).map(String::as_str).unwrap_or("")));
+                wanted.push(format!(
+                    "fig{}",
+                    args.get(i).map(String::as_str).unwrap_or("")
+                ));
             }
             "--table" => {
                 i += 1;
@@ -30,11 +33,7 @@ fn main() {
             }
             "--scale" => {
                 i += 1;
-                scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(1)
-                    .max(1);
+                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
             }
             "--seeds" => {
                 i += 1;

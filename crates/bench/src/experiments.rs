@@ -5,9 +5,7 @@
 //! returns the raw rows so tests and EXPERIMENTS.md generation can check
 //! shapes programmatically.
 
-use barrier_io::{
-    DeviceProfile, FileRef, IoStack, OpKind, SimDuration, StackConfig, Workload,
-};
+use barrier_io::{DeviceProfile, FileRef, IoStack, OpKind, SimDuration, StackConfig, Workload};
 use bio_flash::BarrierMode;
 use bio_workloads::{
     Dwsl, OltpInsert, RandWrite, Sqlite, SqliteJournalMode, SyncMode, Varmail, WriteMode,
@@ -123,7 +121,12 @@ pub fn fig01(scale: u64) -> Vec<(String, f64, f64, f64)> {
     }
     print_table(
         "Fig 1 — Ordered write() vs buffered write() (4KB random)",
-        &["device", "buffered KIOPS", "ordered KIOPS", "ordered/buffered"],
+        &[
+            "device",
+            "buffered KIOPS",
+            "ordered KIOPS",
+            "ordered/buffered",
+        ],
         &rows,
     );
     out
@@ -220,13 +223,8 @@ pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
                 SyncMode::Fdatabarrier,
             ),
         ] {
-            let (stack, _) = run_windowed_stack(
-                cfg,
-                |_| sync_workload(8192, sync),
-                1,
-                warm(),
-                window(scale),
-            );
+            let (stack, _) =
+                run_windowed_stack(cfg, |_| sync_workload(8192, sync), 1, warm(), window(scale));
             let now = stack.now();
             let from = now - window(scale);
             let series: Vec<f64> = stack
@@ -241,7 +239,7 @@ pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
                 .iter()
                 .map(|v| {
                     let steps = "▁▂▃▄▅▆▇█";
-                    let idx = ((v / 32.0) * 7.0).min(7.0).max(0.0) as usize;
+                    let idx = ((v / 32.0) * 7.0).clamp(0.0, 7.0) as usize;
                     steps.chars().nth(idx).unwrap_or('▁')
                 })
                 .collect();
@@ -307,11 +305,7 @@ pub fn table1(scale: u64) -> Vec<Table1Row> {
                 SimDuration::ZERO,
                 SimDuration::from_secs(3600),
             );
-            let f = report
-                .run
-                .op(OpKind::Fsync)
-                .expect("fsync ran")
-                .latency;
+            let f = report.run.op(OpKind::Fsync).expect("fsync ran").latency;
             let stats = [
                 f.mean.as_millis_f64(),
                 f.p50.as_millis_f64(),
@@ -337,7 +331,9 @@ pub fn table1(scale: u64) -> Vec<Table1Row> {
     }
     print_table(
         "Table 1 — fsync() latency statistics (ms)",
-        &["device", "stack", "mean", "median", "p99", "p99.9", "p99.99"],
+        &[
+            "device", "stack", "mean", "median", "p99", "p99.9", "p99.99",
+        ],
         &printed,
     );
     rows
@@ -571,12 +567,7 @@ pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
             let mut stack = IoStack::new(cfg.clone());
             let db = stack.create_global_file();
             let journal = stack.create_global_file();
-            let w = mk(
-                mode,
-                FileRef::Global(db),
-                FileRef::Global(journal),
-                inserts,
-            );
+            let w = mk(mode, FileRef::Global(db), FileRef::Global(journal), inserts);
             stack.add_thread(Box::new(w));
             stack.start_measuring();
             stack.run_until_done(SimDuration::from_secs(3600));
@@ -608,10 +599,18 @@ pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
     let mut out = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
         let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
-            ("EXT4-DR", StackConfig::ext4_dr(dev.clone()), SyncMode::Fsync),
+            (
+                "EXT4-DR",
+                StackConfig::ext4_dr(dev.clone()),
+                SyncMode::Fsync,
+            ),
             ("BFS-DR", StackConfig::bfs(dev.clone()), SyncMode::Fsync),
             ("OptFS", StackConfig::optfs(dev.clone()), SyncMode::Fbarrier),
-            ("EXT4-OD", StackConfig::ext4_od(dev.clone()), SyncMode::Fsync),
+            (
+                "EXT4-OD",
+                StackConfig::ext4_od(dev.clone()),
+                SyncMode::Fsync,
+            ),
             ("BFS-OD", StackConfig::bfs(dev.clone()), SyncMode::Fbarrier),
         ];
         for (label, cfg, sync) in stacks {
@@ -682,14 +681,18 @@ pub fn fig08(scale: u64) -> Vec<(&'static str, f64)> {
             StackConfig::ext4_od(DeviceProfile::plain_ssd()),
             SyncMode::Fsync,
         ),
-        ("EXT4 quick flush (tD+tC+te)", {
-            // The same device as the full-flush row, but with PLP: flush
-            // degenerates to the t_eps round trip (§4.4).
-            let mut d = DeviceProfile::plain_ssd();
-            d.plp = true;
-            d.name = "plain-SSD+PLP".into();
-            StackConfig::ext4_dr(d)
-        }, SyncMode::Fsync),
+        (
+            "EXT4 quick flush (tD+tC+te)",
+            {
+                // The same device as the full-flush row, but with PLP: flush
+                // degenerates to the t_eps round trip (§4.4).
+                let mut d = DeviceProfile::plain_ssd();
+                d.plp = true;
+                d.name = "plain-SSD+PLP".into();
+                StackConfig::ext4_dr(d)
+            },
+            SyncMode::Fsync,
+        ),
         (
             "EXT4 full flush (tD+tC+tF)",
             StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
@@ -742,8 +745,7 @@ pub fn ablation_engines(scale: u64) -> Vec<(&'static str, f64)> {
     ] {
         let dev = DeviceProfile::ufs().with_barrier_mode(mode);
         let cfg = StackConfig::bfs(dev);
-        let (kiops, _) =
-            with_file(cfg)(sync_workload(8192, SyncMode::Fdatabarrier)).kiops(scale);
+        let (kiops, _) = with_file(cfg)(sync_workload(8192, SyncMode::Fdatabarrier)).kiops(scale);
         rows.push(vec![label.to_string(), format!("{kiops:.2}")]);
         out.push((label, kiops));
     }

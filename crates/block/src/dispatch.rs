@@ -163,7 +163,7 @@ impl BlockLayer {
                     }
                 }
             };
-            let cmd = self.to_command(&m);
+            let cmd = self.build_command(&m);
             let ids = m.ids.clone();
             let cmd_id = cmd.id;
             let mut dev_actions = Vec::new();
@@ -188,7 +188,7 @@ impl BlockLayer {
         }
     }
 
-    fn to_command(&mut self, m: &MergedRequest) -> Command {
+    fn build_command(&mut self, m: &MergedRequest) -> Command {
         let id = CmdId(self.next_cmd);
         self.next_cmd += 1;
         let flags = m.req.flags;

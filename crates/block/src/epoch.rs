@@ -113,11 +113,7 @@ impl IoScheduler for EpochScheduler {
     }
 
     fn contains_ordered(&self) -> bool {
-        self.inner.contains_ordered()
-            || self
-                .pending
-                .iter()
-                .any(|r| r.flags.is_order_preserving())
+        self.inner.contains_ordered() || self.pending.iter().any(|r| r.flags.is_order_preserving())
     }
 }
 
@@ -166,8 +162,7 @@ mod tests {
         s.enqueue(w(2, 50, ReqFlags::ORDERED));
         s.enqueue(w(4, 10, ReqFlags::BARRIER));
         let order: Vec<(u64, bool)> =
-            std::iter::from_fn(|| s.dequeue().map(|m| (m.req.id.0, m.req.flags.barrier)))
-                .collect();
+            std::iter::from_fn(|| s.dequeue().map(|m| (m.req.id.0, m.req.flags.barrier))).collect();
         assert_eq!(order.len(), 3);
         // Elevator order: 10, 50, 90 -> ids 4, 2, 1.
         assert_eq!(

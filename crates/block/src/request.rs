@@ -224,6 +224,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flags_classification() {
         assert!(ReqFlags::ORDERED.is_order_preserving());
         assert!(ReqFlags::BARRIER.is_order_preserving());

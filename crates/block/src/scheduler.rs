@@ -116,10 +116,10 @@ impl IoScheduler for ElevatorScheduler {
             };
             let lba = start.0;
             if lba >= self.head {
-                if best.map_or(true, |(_, b)| lba < b) {
+                if best.is_none_or(|(_, b)| lba < b) {
                     best = Some((i, lba));
                 }
-            } else if wrap.map_or(true, |(_, b)| lba < b) {
+            } else if wrap.is_none_or(|(_, b)| lba < b) {
                 wrap = Some((i, lba));
             }
         }

@@ -1,8 +1,7 @@
 //! End-to-end block layer behaviour over the simulated device.
 
 use bio_block::{
-    BlockAction, BlockEvent, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId,
-    SchedulerKind,
+    BlockAction, BlockEvent, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId, SchedulerKind,
 };
 use bio_flash::{audit_epoch_order, BlockTag, Device, DeviceProfile, Lba};
 use bio_sim::{EventQueue, SimTime};
@@ -49,7 +48,9 @@ impl Harness {
 
     fn run_steps(&mut self, n: usize) {
         for _ in 0..n {
-            let Some((now, ev)) = self.q.pop() else { return };
+            let Some((now, ev)) = self.q.pop() else {
+                return;
+            };
             let mut out = Vec::new();
             self.layer.handle(ev, now, &mut out);
             self.apply(out);
@@ -70,7 +71,10 @@ fn requests_complete_through_the_stack() {
     h.run();
     assert_eq!(h.done.len(), 4);
     assert_eq!(h.layer.stats().submitted, 4);
-    assert!(h.layer.stats().dispatched <= 4, "merging can reduce commands");
+    assert!(
+        h.layer.stats().dispatched <= 4,
+        "merging can reduce commands"
+    );
     assert_eq!(h.layer.stats().completed, 4);
 }
 

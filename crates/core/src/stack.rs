@@ -3,9 +3,7 @@
 //! workloads.
 
 use bio_block::{BlockAction, BlockEvent, BlockLayer, BlockStats};
-use bio_flash::{
-    audit_epoch_order, Device, DeviceStats, EpochViolation, FtlStats, PersistedImage,
-};
+use bio_flash::{audit_epoch_order, Device, DeviceStats, EpochViolation, FtlStats, PersistedImage};
 use bio_fs::{
     check_crash_consistency, FileId, Filesystem, FsAction, FsEvent, FsStats, FsViolation,
     SyscallOutcome, ThreadId,
@@ -170,8 +168,7 @@ impl IoStack {
             op_started: SimTime::ZERO,
         });
         let stagger = SimDuration::from_micros(tid.0 as u64 + 1);
-        self.q
-            .push(self.q.now() + stagger, Event::ThreadNext(tid));
+        self.q.push(self.q.now() + stagger, Event::ThreadNext(tid));
         tid
     }
 

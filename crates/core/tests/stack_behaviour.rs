@@ -34,10 +34,7 @@ fn fsync_profile(cfg: StackConfig, n: u64) -> (f64, f64) {
     );
     let report = stack.report();
     let fsync = report.run.op(OpKind::Fsync).expect("fsync ran");
-    (
-        fsync.latency.mean.as_micros_f64(),
-        fsync.switches_per_op,
-    )
+    (fsync.latency.mean.as_micros_f64(), fsync.switches_per_op)
 }
 
 #[test]
@@ -239,7 +236,8 @@ fn nobarrier_on_orderless_device_violates_ordering() {
     // stack eliminates).
     let mut violated = false;
     for seed in 0..30u64 {
-        let mut device = DeviceProfile::ufs().with_barrier_mode(barrier_io::BarrierMode::Unsupported);
+        let mut device =
+            DeviceProfile::ufs().with_barrier_mode(barrier_io::BarrierMode::Unsupported);
         device.cache_blocks = 48; // keep the destage engine busy mid-run
         let mut cfg = StackConfig::ext4_od(device).with_seed(seed);
         cfg.fs.timer_tick = SimDuration::from_micros(1);
@@ -296,7 +294,10 @@ fn deterministic_given_seed() {
         let f = stack.create_global_file();
         stack.add_thread(Box::new(write_fsync_script(FileRef::Global(f), 100)));
         stack.run_until_done(SimDuration::from_secs(120));
-        (stack.now().as_nanos(), stack.device().stats().blocks_written)
+        (
+            stack.now().as_nanos(),
+            stack.device().stats().blocks_written,
+        )
     };
     assert_eq!(run(1), run(1), "same seed must reproduce exactly");
     assert_ne!(run(1), run(2), "different seeds should differ");

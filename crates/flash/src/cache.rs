@@ -236,7 +236,11 @@ mod tests {
     fn barrier_advances_epoch_after_insert() {
         let mut c = WritebackCache::new(8);
         let s1 = c.insert(Lba(1), BlockTag(1), true);
-        assert_eq!(c.entry(s1).unwrap().epoch, 0, "barrier write is in its own epoch");
+        assert_eq!(
+            c.entry(s1).unwrap().epoch,
+            0,
+            "barrier write is in its own epoch"
+        );
         assert_eq!(c.current_epoch(), 1);
         let s2 = c.insert(Lba(2), BlockTag(2), false);
         assert_eq!(c.entry(s2).unwrap().epoch, 1);

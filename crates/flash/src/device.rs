@@ -720,19 +720,17 @@ impl Device {
         if self.profile.plp {
             // Supercap: everything transferred is durable.
             let mut img = self.log.image(|_| true, false);
-            img.overlay(
-                self.cache
-                    .entries_in_order()
-                    .map(|(_, e)| (e.lba, e.tag)),
-            );
+            img.overlay(self.cache.entries_in_order().map(|(_, e)| (e.lba, e.tag)));
             return img;
         }
         match self.profile.barrier_mode {
             BarrierMode::LfsInOrderRecovery => self.log.image(|r| r.done, true),
             BarrierMode::Transactional => {
                 let committed = self.trans.committed.clone();
-                self.log
-                    .image(move |r| r.done && r.group.is_none_or(|g| committed.contains(&g)), false)
+                self.log.image(
+                    move |r| r.done && r.group.is_none_or(|g| committed.contains(&g)),
+                    false,
+                )
             }
             BarrierMode::InOrderWriteback | BarrierMode::Unsupported => {
                 self.log.image(|r| r.done, false)

@@ -154,8 +154,7 @@ mod tests {
     use crate::types::{BlockTag, Lba, WriteFlags};
 
     fn w(id: u64, p: Priority) -> Command {
-        Command::write(CmdId(id), Lba(id), vec![BlockTag(id)], WriteFlags::NONE)
-            .with_priority(p)
+        Command::write(CmdId(id), Lba(id), vec![BlockTag(id)], WriteFlags::NONE).with_priority(p)
     }
 
     #[test]

@@ -63,9 +63,7 @@ impl AppendLog {
     ///
     /// Panics if the sequence is unknown or already folded.
     pub fn mark_done(&mut self, seq: u64) {
-        let idx = seq
-            .checked_sub(self.start)
-            .expect("append already folded") as usize;
+        let idx = seq.checked_sub(self.start).expect("append already folded") as usize;
         self.entries[idx].done = true;
     }
 
@@ -74,7 +72,7 @@ impl AppendLog {
     /// committed — after that their durability can no longer change.
     pub fn fold<F: Fn(u64) -> bool>(&mut self, group_committed: F) {
         while let Some(front) = self.entries.front() {
-            let committed = front.group.map_or(true, &group_committed);
+            let committed = front.group.is_none_or(&group_committed);
             if front.done && committed {
                 let rec = self.entries.pop_front().expect("front exists");
                 self.base.insert(rec.lba, rec.tag);
@@ -325,15 +323,10 @@ mod tests {
 
     #[test]
     fn audit_passes_on_prefix_image() {
-        let history = vec![
-            rec(1, 10, 100, 0),
-            rec(2, 11, 101, 0),
-            rec(3, 12, 102, 1),
-        ];
+        let history = vec![rec(1, 10, 100, 0), rec(2, 11, 101, 0), rec(3, 12, 102, 1)];
         // Epoch 0 fully persisted, epoch 1 lost: fine.
-        let img = PersistedImage::from_map(
-            [(Lba(10), BlockTag(100)), (Lba(11), BlockTag(101))].into(),
-        );
+        let img =
+            PersistedImage::from_map([(Lba(10), BlockTag(100)), (Lba(11), BlockTag(101))].into());
         assert!(audit_epoch_order(&history, &img).is_empty());
         // Nothing persisted: fine.
         assert!(audit_epoch_order(&history, &PersistedImage::default()).is_empty());
@@ -355,14 +348,9 @@ mod tests {
         // Epoch 0 writes lba 10 (tag 100); epoch 1 overwrites it (tag 200)
         // and also writes lba 11. Image holds the *newer* version of 10 and
         // the epoch-1 block: no violation (the old version is superseded).
-        let history = vec![
-            rec(1, 10, 100, 0),
-            rec(2, 10, 200, 1),
-            rec(3, 11, 201, 1),
-        ];
-        let img = PersistedImage::from_map(
-            [(Lba(10), BlockTag(200)), (Lba(11), BlockTag(201))].into(),
-        );
+        let history = vec![rec(1, 10, 100, 0), rec(2, 10, 200, 1), rec(3, 11, 201, 1)];
+        let img =
+            PersistedImage::from_map([(Lba(10), BlockTag(200)), (Lba(11), BlockTag(201))].into());
         assert!(audit_epoch_order(&history, &img).is_empty());
     }
 
@@ -372,14 +360,9 @@ mod tests {
         // after an epoch-1 overwrite was lost — that loses an epoch-1 write,
         // allowed only for the newest visible epoch. Here epoch 2 is also
         // visible, so the epoch-1 overwrite must have persisted.
-        let history = vec![
-            rec(1, 10, 100, 0),
-            rec(2, 10, 200, 1),
-            rec(3, 11, 300, 2),
-        ];
-        let img = PersistedImage::from_map(
-            [(Lba(10), BlockTag(100)), (Lba(11), BlockTag(300))].into(),
-        );
+        let history = vec![rec(1, 10, 100, 0), rec(2, 10, 200, 1), rec(3, 11, 300, 2)];
+        let img =
+            PersistedImage::from_map([(Lba(10), BlockTag(100)), (Lba(11), BlockTag(300))].into());
         let v = audit_epoch_order(&history, &img);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].lost.tag, BlockTag(200));
@@ -387,16 +370,11 @@ mod tests {
 
     #[test]
     fn partial_newest_epoch_is_allowed() {
-        let history = vec![
-            rec(1, 10, 100, 0),
-            rec(2, 11, 101, 1),
-            rec(3, 12, 102, 1),
-        ];
+        let history = vec![rec(1, 10, 100, 0), rec(2, 11, 101, 1), rec(3, 12, 102, 1)];
         // Epoch 1 partially persisted (one of two blocks): allowed, because
         // nothing *newer* than epoch 1 is visible.
-        let img = PersistedImage::from_map(
-            [(Lba(10), BlockTag(100)), (Lba(12), BlockTag(102))].into(),
-        );
+        let img =
+            PersistedImage::from_map([(Lba(10), BlockTag(100)), (Lba(12), BlockTag(102))].into());
         assert!(audit_epoch_order(&history, &img).is_empty());
     }
 }

@@ -253,6 +253,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn flags_presets() {
         assert!(WriteFlags::FLUSH_FUA.fua && WriteFlags::FLUSH_FUA.flush_before);
         assert!(!WriteFlags::NONE.barrier);

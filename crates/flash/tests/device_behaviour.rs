@@ -105,7 +105,10 @@ fn flush_makes_data_durable() {
     h.run_until_complete(CmdId(1));
     h.submit(Command::flush(CmdId(2)));
     let t_flush = h.run_until_complete(CmdId(2));
-    assert!(t_flush > SimTime::from_micros(70), "flush takes program time");
+    assert!(
+        t_flush > SimTime::from_micros(70),
+        "flush takes program time"
+    );
     assert_eq!(h.dev.crash_image().tag(Lba(0)), BlockTag(10));
 }
 
@@ -215,9 +218,7 @@ fn lfs_device_preserves_epoch_order_across_crashes() {
                 } else {
                     WriteFlags::NONE
                 };
-                h.submit(
-                    wcmd(id, lba, 1000 + id, flags).with_priority(Priority::Ordered),
-                );
+                h.submit(wcmd(id, lba, 1000 + id, flags).with_priority(Priority::Ordered));
                 h.run_until_complete(CmdId(id));
             }
         }

@@ -147,8 +147,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "journal too small")]
     fn tiny_journal_rejected() {
-        let mut c = FsConfig::default();
-        c.journal_blocks = 4;
+        let c = FsConfig {
+            journal_blocks: 4,
+            ..FsConfig::default()
+        };
         c.validate();
     }
 }

@@ -344,13 +344,7 @@ impl Filesystem {
         }
         for b in offset..offset + blocks {
             let tag = self.layout.next_tag();
-            if self
-                .files
-                .get_mut(file)
-                .dirty_data
-                .insert(b, tag)
-                .is_none()
-            {
+            if self.files.get_mut(file).dirty_data.insert(b, tag).is_none() {
                 self.dirty_total += 1;
             }
         }
@@ -652,8 +646,7 @@ impl Filesystem {
             // Metadata already committing: wait for that transaction's
             // durability (requesting a flush if it was ordering-only).
             if has_dirty {
-                let (_, pairs) =
-                    self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
+                let (_, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
                 self.note_ordered_data(&pairs);
             }
             self.await_txn_durable(tid, holder, out);
@@ -739,12 +732,7 @@ impl Filesystem {
 
     /// Registers `tid` as a durability waiter of `txn`, arranging a flush
     /// if the transaction is past the point where one would happen.
-    pub(crate) fn await_txn_durable(
-        &mut self,
-        tid: ThreadId,
-        txn: TxnId,
-        out: &mut Vec<FsAction>,
-    ) {
+    pub(crate) fn await_txn_durable(&mut self, tid: ThreadId, txn: TxnId, out: &mut Vec<FsAction>) {
         let state = self.txns.get(&txn).expect("txn").state;
         debug_assert!(state < TxnState::Durable, "awaiting already-durable txn");
         self.txns
@@ -830,9 +818,8 @@ impl Filesystem {
         out: &mut Vec<FsAction>,
     ) -> SyscallOutcome {
         let f = self.files.get(file);
-        let cached = (offset..offset + blocks).all(|b| {
-            f.dirty_data.contains_key(&b) || f.committed_blocks.contains_key(&b)
-        });
+        let cached = (offset..offset + blocks)
+            .all(|b| f.dirty_data.contains_key(&b) || f.committed_blocks.contains_key(&b));
         if cached {
             return SyscallOutcome::Done;
         }

@@ -538,7 +538,8 @@ impl Filesystem {
         // Page-scanning overhead proportional to the transaction size
         // (§6.5: selective data journaling increases the pages to scan).
         let pages = self.txns[&rt].journal_blocks();
-        let scan = bio_sim::SimDuration::from_nanos(self.cfg.optfs_scan_per_page.as_nanos() * pages);
+        let scan =
+            bio_sim::SimDuration::from_nanos(self.cfg.optfs_scan_per_page.as_nanos() * pages);
         {
             let t = self.txns.get_mut(&rt).expect("running");
             t.commit_requested = true;
@@ -566,10 +567,7 @@ impl Filesystem {
     /// Periodic OptFS flusher: upgrade transferred transactions to
     /// durable.
     pub(crate) fn optfs_periodic_flush(&mut self, out: &mut Vec<FsAction>) {
-        let any_transferred = self
-            .txns
-            .values()
-            .any(|t| t.state == TxnState::Transferred);
+        let any_transferred = self.txns.values().any(|t| t.state == TxnState::Transferred);
         if any_transferred {
             self.request_txn_flush(out);
         }

@@ -80,10 +80,7 @@ pub enum FsViolation {
 /// blocks were later reused (circular log wrap) cannot be distinguished
 /// from a legitimately overwritten one, so it is skipped — by the time the
 /// journal wraps it has long been checkpointed.
-pub fn check_crash_consistency(
-    records: &[TxnRecord],
-    image: &PersistedImage,
-) -> Vec<FsViolation> {
+pub fn check_crash_consistency(records: &[TxnRecord], image: &PersistedImage) -> Vec<FsViolation> {
     let mut violations = Vec::new();
 
     // Last writer per journal lba (for checkability).
@@ -111,8 +108,7 @@ pub fn check_crash_consistency(
     let jc_intact = |r: &TxnRecord| -> bool { image.tag(r.jc_lba) == r.jc_tag };
     // "Version at lba is at least `tag`": tags are globally monotonic, so
     // a bigger tag at the same block is a newer version of it.
-    let present_or_superseded =
-        |lba: Lba, tag: BlockTag| -> bool { image.tag(lba).0 >= tag.0 };
+    let present_or_superseded = |lba: Lba, tag: BlockTag| -> bool { image.tag(lba).0 >= tag.0 };
 
     // Pass 1: classify.
     let mut valid: Vec<bool> = Vec::with_capacity(records.len());
@@ -214,9 +210,13 @@ mod tests {
         // Txn 2 survived, txn 1 lost.
         let img = image(&[(102, 20), (103, 21)]);
         let v = check_crash_consistency(&records, &img);
-        assert!(v
-            .iter()
-            .any(|x| matches!(x, FsViolation::CommitOrder { earlier: 1, later: 2 })));
+        assert!(v.iter().any(|x| matches!(
+            x,
+            FsViolation::CommitOrder {
+                earlier: 1,
+                later: 2
+            }
+        )));
     }
 
     #[test]

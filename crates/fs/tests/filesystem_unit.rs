@@ -91,7 +91,11 @@ fn ext4_jc_carries_flush_fua() {
     // Complete the data write; the caller steps, then triggers the commit.
     let data_rid = data[0].0;
     out.clear();
-    fs.handle(FsEvent::ReqDone(data_rid), SimTime::from_micros(100), &mut out);
+    fs.handle(
+        FsEvent::ReqDone(data_rid),
+        SimTime::from_micros(100),
+        &mut out,
+    );
     // Walk the scheduled continuations until JD is submitted.
     let mut all = out.clone();
     for _ in 0..4 {
@@ -116,7 +120,11 @@ fn ext4_jc_carries_flush_fua() {
     // JD transfer completes -> JC with FLUSH|FUA.
     let jd_rid = jd[0].0;
     let mut out = Vec::new();
-    fs.handle(FsEvent::ReqDone(jd_rid), SimTime::from_micros(300), &mut out);
+    fs.handle(
+        FsEvent::ReqDone(jd_rid),
+        SimTime::from_micros(300),
+        &mut out,
+    );
     let jc = submits(&out);
     assert_eq!(jc.len(), 1, "JC submitted after JD transfer (Eq. 2)");
     assert!(jc[0].1.fua && jc[0].1.preflush, "JC is FLUSH|FUA");
@@ -135,7 +143,10 @@ fn barrierfs_commit_dispatches_jd_and_jc_back_to_back() {
     // D went out ordered, commit scheduled.
     let d = submits(&out);
     assert_eq!(d.len(), 1);
-    assert!(d[0].1.ordered && !d[0].1.barrier, "D is ordered, not barrier");
+    assert!(
+        d[0].1.ordered && !d[0].1.barrier,
+        "D is ordered, not barrier"
+    );
     // Run the commit thread.
     let mut out = Vec::new();
     fs.handle(FsEvent::CommitRun, SimTime::from_micros(50), &mut out);

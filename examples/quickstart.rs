@@ -60,7 +60,10 @@ fn main() {
         crash.fs_violations.len(),
         crash.epoch_violations.len()
     );
-    assert!(crash.is_consistent(), "the barrier stack must never reorder");
+    assert!(
+        crash.is_consistent(),
+        "the barrier stack must never reorder"
+    );
 
     // 2. The same program on a legacy stack over an ORDERLESS device,
     //    relying on nothing at all (plain writes): ordering can break.
@@ -98,10 +101,7 @@ fn main() {
     println!(
         "\n2000 ordered pairs in {} simulated; fdatabarrier: {} calls, \
          {:.2} context switches each, mean latency {}",
-        report.run.elapsed,
-        fdb.count,
-        fdb.switches_per_op,
-        fdb.latency.mean
+        report.run.elapsed, fdb.count, fdb.switches_per_op, fdb.latency.mean
     );
     println!("device wrote {:.1} K blocks/s", report.write_kiops);
 }

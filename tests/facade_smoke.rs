@@ -1,0 +1,57 @@
+//! Workspace smoke test: the `barrier_io_stack` facade re-exports resolve
+//! to the right crates, and a minimal stack run completes deterministically.
+
+use barrier_io_stack::{block, flash, fs, sim, stack, workloads};
+
+#[test]
+fn facade_reexports_resolve() {
+    // Each aliased module must expose its crate's signature types; using
+    // them through the facade path proves the re-export wiring.
+    let _profile: flash::DeviceProfile = flash::DeviceProfile::ufs();
+    let _flags: block::ReqFlags = block::ReqFlags::BARRIER;
+    let _mode: fs::FsMode = fs::FsMode::BarrierFs;
+    let _t: sim::SimTime = sim::SimTime::from_micros(1);
+    let _sync: workloads::SyncMode = workloads::SyncMode::Fdatabarrier;
+    let _cfg: stack::StackConfig = stack::StackConfig::bfs(flash::DeviceProfile::ufs());
+}
+
+fn run_once(seed: u64) -> (u64, u64) {
+    let cfg = stack::StackConfig::bfs(flash::DeviceProfile::ufs()).with_seed(seed);
+    let mut s = stack::IoStack::new(cfg);
+    let db = s.create_global_file();
+    let script = vec![
+        stack::Op::Write {
+            file: stack::FileRef::Global(db),
+            offset: 0,
+            blocks: 1,
+        },
+        stack::Op::Fdatabarrier {
+            file: stack::FileRef::Global(db),
+        },
+        stack::Op::Write {
+            file: stack::FileRef::Global(db),
+            offset: 1,
+            blocks: 1,
+        },
+        stack::Op::Fsync {
+            file: stack::FileRef::Global(db),
+        },
+        stack::Op::TxnMark,
+    ];
+    s.add_thread(Box::new(stack::ScriptWorkload::repeat(script, 16)));
+    assert!(
+        s.run_until_done(sim::SimDuration::from_secs(60)),
+        "minimal stack run did not finish"
+    );
+    let report = s.report();
+    assert_eq!(report.run.txns, 16);
+    (report.run.txns, s.device().stats().blocks_written)
+}
+
+#[test]
+fn minimal_run_is_deterministic() {
+    let a = run_once(7);
+    let b = run_once(7);
+    assert_eq!(a, b, "same seed must replay the same simulation");
+    assert!(a.1 > 0, "the run must actually reach the device");
+}
