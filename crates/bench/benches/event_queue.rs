@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the simulation event queue — the hot
+//! path every layer of the stack drains. Covers steady-state push/pop at
+//! small (1k) and large (100k) queue populations, plus a same-instant
+//! burst (the FIFO bucket-drain path).
+
+use bio_sim::{EventQueue, SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Steady-state churn: keep `depth` events queued while popping and
+/// re-pushing `ops` times, with a spread of near-future delays (the
+/// simulator's DMA/program/timer mix).
+fn churn(depth: u64, ops: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..depth {
+        q.push(SimTime::from_nanos(1 + i * 37 % 50_000), i);
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (_, ev) = q.pop().expect("queue stays populated");
+        acc = acc.wrapping_add(ev);
+        // Re-schedule with a deterministic micro-scale delay pattern.
+        let delay = SimDuration::from_nanos(200 + (i * 97) % 30_000);
+        q.push_after(delay, ev);
+    }
+    acc
+}
+
+/// Fill-then-drain: push `n` events with spread timestamps, then pop all.
+fn fill_drain(n: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..n {
+        q.push(SimTime::from_nanos((i * 2_654_435_761) % 80_000_000), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, ev)) = q.pop() {
+        acc = acc.wrapping_add(ev);
+    }
+    acc
+}
+
+/// Same-instant burst: `n` events at one timestamp, drained in FIFO order
+/// via `pop_batch`.
+fn burst_batch(n: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let t = SimTime::from_micros(5);
+    for i in 0..n {
+        q.push(t, i);
+    }
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    while q.pop_batch(&mut out, 256) > 0 {
+        for (_, ev) in out.drain(..) {
+            acc = acc.wrapping_add(ev);
+        }
+    }
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.bench_function("churn_1k_queued_100k_ops", |b| {
+        b.iter(|| churn(black_box(1_000), 100_000))
+    });
+    g.bench_function("churn_100k_queued_100k_ops", |b| {
+        b.iter(|| churn(black_box(100_000), 100_000))
+    });
+    g.bench_function("fill_drain_100k", |b| {
+        b.iter(|| fill_drain(black_box(100_000)))
+    });
+    g.bench_function("same_instant_burst_10k", |b| {
+        b.iter(|| burst_batch(black_box(10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -4,7 +4,14 @@
 //! cargo run -p bio-bench --release --bin figures -- --all
 //! cargo run -p bio-bench --release --bin figures -- --fig 9 --fig 11
 //! cargo run -p bio-bench --release --bin figures -- --table 1 --scale 4
+//! cargo run -p bio-bench --release --bin figures -- --all --jobs 1   # serial
 //! ```
+//!
+//! Experiment cells run on a worker pool (`--jobs`, default: all cores).
+//! Results are assembled in deterministic order, so `--jobs 1` and
+//! `--jobs N` print byte-identical tables — CI diffs the two. A run
+//! summary (`[grid] cells=.. jobs=.. elapsed_ms=..`) goes to stderr to
+//! keep stdout clean for that diff.
 
 use bio_bench::experiments;
 
@@ -17,6 +24,11 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--all" => wanted.push("all".into()),
+            "--jobs" => {
+                i += 1;
+                let jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
+                bio_bench::set_default_jobs(jobs);
+            }
             "--fig" => {
                 i += 1;
                 wanted.push(format!(
@@ -57,6 +69,7 @@ fn main() {
     }
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let started = std::time::Instant::now();
 
     println!("Barrier-Enabled IO Stack — experiment harness (scale {scale})");
     if want("fig1") {
@@ -95,12 +108,19 @@ fn main() {
     if want("figcrash") || all {
         experiments::ablation_crash(crash_seeds);
     }
+    eprintln!(
+        "[grid] cells={} jobs={} elapsed_ms={}",
+        bio_bench::cells_run(),
+        bio_bench::default_jobs(),
+        started.elapsed().as_millis()
+    );
 }
 
 fn print_help() {
     println!(
-        "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N]\n\
+        "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N] [--jobs J]\n\
          figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, engines, crash; table: 1\n\
-         --scale multiplies run length (1 = quick)"
+         --scale multiplies run length (1 = quick); --jobs bounds the\n\
+         experiment-grid worker pool (1 = serial, default: all cores)"
     );
 }

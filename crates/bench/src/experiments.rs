@@ -4,6 +4,12 @@
 //! to the paper's operation counts) and prints its results; it also
 //! returns the raw rows so tests and EXPERIMENTS.md generation can check
 //! shapes programmatically.
+//!
+//! Each figure enumerates its cells into an [`ExperimentGrid`] — one
+//! independent `(config, workload, seed)` simulation per cell — and runs
+//! them on the worker pool. Cells never print; tables are assembled from
+//! the ordered results afterwards, so serial (`--jobs 1`) and parallel
+//! runs produce byte-identical output.
 
 use barrier_io::{DeviceProfile, FileRef, IoStack, OpKind, SimDuration, StackConfig, Workload};
 use bio_flash::BarrierMode;
@@ -11,7 +17,7 @@ use bio_workloads::{
     Dwsl, OltpInsert, RandWrite, Sqlite, SqliteJournalMode, SyncMode, Varmail, WriteMode,
 };
 
-use crate::{print_table, run_to_completion, run_windowed, run_windowed_stack};
+use crate::{print_table, run_to_completion, run_windowed, run_windowed_stack, ExperimentGrid};
 
 fn huge() -> u64 {
     u64::MAX / 2
@@ -43,32 +49,21 @@ fn sync_workload(region: u64, sync: SyncMode) -> Box<dyn Workload> {
     ))
 }
 
-fn with_file(cfg: StackConfig) -> impl Fn(Box<dyn Workload>) -> StackConfigRun {
-    move |w| StackConfigRun {
-        cfg: cfg.clone(),
-        w: Some(w),
-    }
-}
-
-/// Helper pairing a config with a single-thread workload.
-pub struct StackConfigRun {
+/// One single-thread windowed run; returns `(write KIOPS, mean QD)`.
+fn measure_kiops(
     cfg: StackConfig,
-    w: Option<Box<dyn Workload>>,
-}
-
-impl StackConfigRun {
-    fn kiops(mut self, scale: u64) -> (f64, f64) {
-        let w = self.w.take().expect("workload");
-        let mut holder = Some(w);
-        let report = run_windowed(
-            self.cfg,
-            move |_| holder.take().expect("single thread"),
-            1,
-            warm(),
-            window(scale),
-        );
-        (report.write_kiops, report.mean_qd)
-    }
+    mk: impl FnOnce() -> Box<dyn Workload>,
+    scale: u64,
+) -> (f64, f64) {
+    let mut holder = Some(mk());
+    let report = run_windowed(
+        cfg,
+        move |_| holder.take().expect("single thread"),
+        1,
+        warm(),
+        window(scale),
+    );
+    (report.write_kiops, report.mean_qd)
 }
 
 // ---------------------------------------------------------------------
@@ -97,15 +92,29 @@ pub fn fig01(scale: u64) -> Vec<(String, f64, f64, f64)> {
         ("G:flash-array", DeviceProfile::flash_array(32)),
         ("HDD", DeviceProfile::hdd()),
     ];
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    for (label, dev) in devices {
-        let region = 8192;
+    let region = 8192;
+    let mut grid = ExperimentGrid::new();
+    for (label, dev) in &devices {
         let mut bcfg = StackConfig::ext4_dr(dev.clone());
         bcfg.fs.writeback_interval = SimDuration::from_millis(20);
-        let (buffered, _) = with_file(bcfg)(buffered_workload(region)).kiops(scale);
+        grid.push(format!("fig01/{label}/buffered"), move || {
+            measure_kiops(bcfg, || buffered_workload(region), scale).0
+        });
         let ocfg = StackConfig::ext4_dr(dev.clone());
-        let (ordered, _) = with_file(ocfg)(sync_workload(region, SyncMode::Fdatasync)).kiops(scale);
+        grid.push(format!("fig01/{label}/ordered"), move || {
+            measure_kiops(ocfg, || sync_workload(region, SyncMode::Fdatasync), scale).0
+        });
+    }
+    let results = grid.run();
+    assert_eq!(
+        results.len(),
+        2 * devices.len(),
+        "fig01 cell/device pairing"
+    );
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (i, (label, _)) in devices.iter().enumerate() {
+        let (buffered, ordered) = (results[2 * i], results[2 * i + 1]);
         let ratio = if buffered > 0.0 {
             100.0 * ordered / buffered
         } else {
@@ -151,49 +160,61 @@ pub struct Fig9Cell {
 
 /// Fig 9: IOPS and queue depth for the four ordering scenarios.
 pub fn fig09(scale: u64) -> Vec<Fig9Cell> {
-    let mut cells = Vec::new();
-    let mut rows = Vec::new();
+    let region = 8192;
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for dev in [
         DeviceProfile::ufs(),
         DeviceProfile::plain_ssd(),
         DeviceProfile::supercap_ssd(),
     ] {
-        let region = 8192;
-        let scenarios: Vec<(&'static str, StackConfig, Box<dyn Workload>)> = vec![
+        type MkW = Box<dyn FnOnce() -> Box<dyn Workload> + Send>;
+        let scenarios: Vec<(&'static str, StackConfig, MkW)> = vec![
             (
                 "XnF",
                 StackConfig::ext4_dr(dev.clone()),
-                sync_workload(region, SyncMode::Fdatasync),
+                Box::new(move || sync_workload(region, SyncMode::Fdatasync)),
             ),
             (
                 "X",
                 StackConfig::ext4_od(dev.clone()),
-                sync_workload(region, SyncMode::Fdatasync),
+                Box::new(move || sync_workload(region, SyncMode::Fdatasync)),
             ),
             (
                 "B",
                 StackConfig::bfs(dev.clone()),
-                sync_workload(region, SyncMode::Fdatabarrier),
+                Box::new(move || sync_workload(region, SyncMode::Fdatabarrier)),
             ),
-            ("P", StackConfig::ext4_dr(dev.clone()), {
-                buffered_workload(region)
-            }),
+            (
+                "P",
+                StackConfig::ext4_dr(dev.clone()),
+                Box::new(move || buffered_workload(region)),
+            ),
         ];
-        for (label, cfg, w) in scenarios {
-            let (kiops, qd) = with_file(cfg)(w).kiops(scale);
-            rows.push(vec![
-                dev.name.clone(),
-                label.to_string(),
-                format!("{kiops:.2}"),
-                format!("{qd:.2}"),
-            ]);
-            cells.push(Fig9Cell {
-                device: dev.name.clone(),
-                scenario: label,
-                kiops,
-                qd,
+        for (label, cfg, mk) in scenarios {
+            meta.push((dev.name.clone(), label));
+            grid.push(format!("fig09/{}/{label}", dev.name), move || {
+                measure_kiops(cfg, mk, scale)
             });
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut cells = Vec::new();
+    let mut rows = Vec::new();
+    for ((device, scenario), (kiops, qd)) in meta.into_iter().zip(results) {
+        rows.push(vec![
+            device.clone(),
+            scenario.to_string(),
+            format!("{kiops:.2}"),
+            format!("{qd:.2}"),
+        ]);
+        cells.push(Fig9Cell {
+            device,
+            scenario,
+            kiops,
+            qd,
+        });
     }
     print_table(
         "Fig 9 — 4KB random write: XnF (flush), X (wait-on-transfer), B (barrier), P (buffered)",
@@ -209,7 +230,7 @@ pub fn fig09(scale: u64) -> Vec<Fig9Cell> {
 
 /// Fig 10: queue-depth traces (down-sampled) for X vs B on two devices.
 pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
-    let mut out = Vec::new();
+    let mut grid = ExperimentGrid::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::ufs()] {
         for (label, cfg, sync) in [
             (
@@ -223,29 +244,39 @@ pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
                 SyncMode::Fdatabarrier,
             ),
         ] {
-            let (stack, _) =
-                run_windowed_stack(cfg, |_| sync_workload(8192, sync), 1, warm(), window(scale));
-            let now = stack.now();
-            let from = now - window(scale);
-            let series: Vec<f64> = stack
-                .device()
-                .qd_series()
-                .resample(from, now, 24)
-                .into_iter()
-                .map(|(_, v)| v)
-                .collect();
             let name = format!("{} / {}", dev.name, label);
-            let plot: String = series
-                .iter()
-                .map(|v| {
-                    let steps = "▁▂▃▄▅▆▇█";
-                    let idx = ((v / 32.0) * 7.0).clamp(0.0, 7.0) as usize;
-                    steps.chars().nth(idx).unwrap_or('▁')
-                })
-                .collect();
-            println!("Fig10 {name:<28} mean-QD trace: {plot}");
-            out.push((name, series));
+            grid.push(format!("fig10/{name}"), move || {
+                let (stack, _) = run_windowed_stack(
+                    cfg,
+                    |_| sync_workload(8192, sync),
+                    1,
+                    warm(),
+                    window(scale),
+                );
+                let now = stack.now();
+                let from = now - window(scale);
+                let series: Vec<f64> = stack
+                    .device()
+                    .qd_series()
+                    .resample(from, now, 24)
+                    .into_iter()
+                    .map(|(_, v)| v)
+                    .collect();
+                (name, series)
+            });
         }
+    }
+    let out = grid.run();
+    for (name, series) in &out {
+        let plot: String = series
+            .iter()
+            .map(|v| {
+                let steps = "▁▂▃▄▅▆▇█";
+                let idx = ((v / 32.0) * 7.0).clamp(0.0, 7.0) as usize;
+                steps.chars().nth(idx).unwrap_or('▁')
+            })
+            .collect();
+        println!("Fig10 {name:<28} mean-QD trace: {plot}");
     }
     out
 }
@@ -279,8 +310,8 @@ fn aged(mut dev: DeviceProfile, run_blocks: u64) -> DeviceProfile {
 /// tail.
 pub fn table1(scale: u64) -> Vec<Table1Row> {
     let n = 1_000 * scale;
-    let mut rows = Vec::new();
-    let mut printed = Vec::new();
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for dev in [
         DeviceProfile::ufs(),
         DeviceProfile::plain_ssd(),
@@ -291,43 +322,52 @@ pub fn table1(scale: u64) -> Vec<Table1Row> {
             ("EXT4", StackConfig::ext4_dr(dev.clone())),
             ("BFS", StackConfig::bfs(dev.clone())),
         ] {
-            let report = run_to_completion(
-                cfg,
-                move |_| {
-                    Box::new(RandWrite::new(
-                        FileRef::Global(0),
-                        64,
-                        WriteMode::SyncEach(SyncMode::Fsync),
-                        n,
-                    )) as Box<dyn Workload>
-                },
-                1,
-                SimDuration::ZERO,
-                SimDuration::from_secs(3600),
-            );
-            let f = report.run.op(OpKind::Fsync).expect("fsync ran").latency;
-            let stats = [
-                f.mean.as_millis_f64(),
-                f.p50.as_millis_f64(),
-                f.p99.as_millis_f64(),
-                f.p999.as_millis_f64(),
-                f.p9999.as_millis_f64(),
-            ];
-            printed.push(vec![
-                dev.name.clone(),
-                label.to_string(),
-                format!("{:.2}", stats[0]),
-                format!("{:.2}", stats[1]),
-                format!("{:.2}", stats[2]),
-                format!("{:.2}", stats[3]),
-                format!("{:.2}", stats[4]),
-            ]);
-            rows.push(Table1Row {
-                device: dev.name.clone(),
-                stack: label,
-                stats,
+            meta.push((dev.name.clone(), label));
+            grid.push(format!("table1/{}/{label}", dev.name), move || {
+                let report = run_to_completion(
+                    cfg,
+                    move |_| {
+                        Box::new(RandWrite::new(
+                            FileRef::Global(0),
+                            64,
+                            WriteMode::SyncEach(SyncMode::Fsync),
+                            n,
+                        )) as Box<dyn Workload>
+                    },
+                    1,
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(3600),
+                );
+                let f = report.run.op(OpKind::Fsync).expect("fsync ran").latency;
+                [
+                    f.mean.as_millis_f64(),
+                    f.p50.as_millis_f64(),
+                    f.p99.as_millis_f64(),
+                    f.p999.as_millis_f64(),
+                    f.p9999.as_millis_f64(),
+                ]
             });
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut rows = Vec::new();
+    let mut printed = Vec::new();
+    for ((device, stack), stats) in meta.into_iter().zip(results) {
+        printed.push(vec![
+            device.clone(),
+            stack.to_string(),
+            format!("{:.2}", stats[0]),
+            format!("{:.2}", stats[1]),
+            format!("{:.2}", stats[2]),
+            format!("{:.2}", stats[3]),
+            format!("{:.2}", stats[4]),
+        ]);
+        rows.push(Table1Row {
+            device,
+            stack,
+            stats,
+        });
     }
     print_table(
         "Table 1 — fsync() latency statistics (ms)",
@@ -346,8 +386,8 @@ pub fn table1(scale: u64) -> Vec<Table1Row> {
 /// Fig 11: application-level context switches per fsync/fbarrier.
 pub fn fig11(scale: u64) -> Vec<(String, &'static str, f64)> {
     let n = 1_000 * scale;
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for dev in [
         DeviceProfile::ufs(),
         DeviceProfile::plain_ssd(),
@@ -380,26 +420,36 @@ pub fn fig11(scale: u64) -> Vec<(String, &'static str, f64)> {
             ),
         ];
         for (label, cfg, sync, kind) in cells {
-            // Overwrites of a warm region: the paper's workload, where the
-            // timer-tick effect makes fsync degenerate to fdatasync.
-            let report = run_to_completion(
-                cfg,
-                move |_| {
-                    Box::new(RandWrite::new(
-                        FileRef::Global(0),
-                        64,
-                        WriteMode::SyncEach(sync),
-                        n,
-                    )) as Box<dyn Workload>
-                },
-                1,
-                SimDuration::ZERO,
-                SimDuration::from_secs(3600),
-            );
-            let s = report.run.op(kind).map_or(0.0, |o| o.switches_per_op);
-            rows.push(vec![dev.name.clone(), label.to_string(), format!("{s:.2}")]);
-            out.push((dev.name.clone(), label, s));
+            meta.push((dev.name.clone(), label));
+            grid.push(format!("fig11/{}/{label}", dev.name), move || {
+                // Overwrites of a warm region: the paper's workload, where
+                // the timer-tick effect makes fsync degenerate to
+                // fdatasync.
+                let report = run_to_completion(
+                    cfg,
+                    move |_| {
+                        Box::new(RandWrite::new(
+                            FileRef::Global(0),
+                            64,
+                            WriteMode::SyncEach(sync),
+                            n,
+                        )) as Box<dyn Workload>
+                    },
+                    1,
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(3600),
+                );
+                report.run.op(kind).map_or(0.0, |o| o.switches_per_op)
+            });
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for ((device, label), s) in meta.into_iter().zip(results) {
+        rows.push(vec![device.clone(), label.to_string(), format!("{s:.2}")]);
+        out.push((device, label, s));
     }
     print_table(
         "Fig 11 — context switches per fsync()/fbarrier()",
@@ -415,33 +465,42 @@ pub fn fig11(scale: u64) -> Vec<(String, &'static str, f64)> {
 
 /// Fig 12: peak device queue depth under fsync vs fbarrier on BarrierFS.
 pub fn fig12(scale: u64) -> Vec<(&'static str, f64, f64)> {
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
+    for (label, sync) in [("fsync", SyncMode::Fsync), ("fbarrier", SyncMode::Fbarrier)] {
+        meta.push(label);
+        grid.push(format!("fig12/{label}"), move || {
+            let mut cfg = StackConfig::bfs(DeviceProfile::ufs());
+            // fsync exercises the full commit path (allocating appends);
+            // the ordering-guarantee row overwrites a warm region, where
+            // most fbarrier calls degenerate to fdatabarrier and never
+            // block — that is what lets the queue fill up (Fig 12(b)).
+            let mk: Box<dyn Fn() -> Box<dyn Workload>> = if sync == SyncMode::Fsync {
+                cfg.fs.timer_tick = SimDuration::from_micros(1);
+                Box::new(move || Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>)
+            } else {
+                Box::new(move || {
+                    Box::new(RandWrite::new(
+                        FileRef::Global(0),
+                        64,
+                        WriteMode::SyncEach(sync),
+                        huge(),
+                    )) as Box<dyn Workload>
+                })
+            };
+            let (stack, _report) = run_windowed_stack(cfg, |_| mk(), 1, warm(), window(scale));
+            let now = stack.now();
+            let from = now - window(scale);
+            let peak = stack.device().qd_series().max_in(from, now);
+            let mean = stack.device().qd_series().weighted_mean(from, now);
+            (mean, peak)
+        });
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
     let mut out = Vec::new();
     let mut rows = Vec::new();
-    for (label, sync) in [("fsync", SyncMode::Fsync), ("fbarrier", SyncMode::Fbarrier)] {
-        let mut cfg = StackConfig::bfs(DeviceProfile::ufs());
-        // fsync exercises the full commit path (allocating appends); the
-        // ordering-guarantee row overwrites a warm region, where most
-        // fbarrier calls degenerate to fdatabarrier and never block — that
-        // is what lets the queue fill up (Fig 12(b)).
-        let mk: Box<dyn Fn() -> Box<dyn Workload>> = if sync == SyncMode::Fsync {
-            cfg.fs.timer_tick = SimDuration::from_micros(1);
-            Box::new(move || Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>)
-        } else {
-            Box::new(move || {
-                Box::new(RandWrite::new(
-                    FileRef::Global(0),
-                    64,
-                    WriteMode::SyncEach(sync),
-                    huge(),
-                )) as Box<dyn Workload>
-            })
-        };
-        let (stack, report) = run_windowed_stack(cfg, |_| mk(), 1, warm(), window(scale));
-        let _ = &report;
-        let now = stack.now();
-        let from = now - window(scale);
-        let peak = stack.device().qd_series().max_in(from, now);
-        let mean = stack.device().qd_series().weighted_mean(from, now);
+    for (label, (mean, peak)) in meta.into_iter().zip(results) {
         rows.push(vec![
             label.to_string(),
             format!("{mean:.2}"),
@@ -465,34 +524,47 @@ pub fn fig12(scale: u64) -> Vec<(&'static str, f64, f64)> {
 pub fn fig13(scale: u64) -> Vec<(String, &'static str, usize, f64)> {
     let cores = [1usize, 2, 4, 6, 8, 10, 12];
     let writes = 200 * scale;
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
         for (label, mk_cfg) in [
             (
                 "EXT4-DR",
-                Box::new(StackConfig::ext4_dr) as Box<dyn Fn(DeviceProfile) -> StackConfig>,
+                StackConfig::ext4_dr as fn(DeviceProfile) -> StackConfig,
             ),
-            ("BFS-DR", Box::new(StackConfig::bfs)),
+            (
+                "BFS-DR",
+                StackConfig::bfs as fn(DeviceProfile) -> StackConfig,
+            ),
         ] {
             for &n in &cores {
-                let report = run_to_completion(
-                    mk_cfg(dev.clone()),
-                    |_| Box::new(Dwsl::new(SyncMode::Fsync, writes)) as Box<dyn Workload>,
-                    n,
-                    SimDuration::ZERO,
-                    SimDuration::from_secs(3600),
-                );
-                let ops = report.run.txns_per_sec();
-                rows.push(vec![
-                    dev.name.clone(),
-                    label.to_string(),
-                    n.to_string(),
-                    format!("{:.0}", ops),
-                ]);
-                out.push((dev.name.clone(), label, n, ops));
+                let cfg = mk_cfg(dev.clone());
+                meta.push((dev.name.clone(), label, n));
+                grid.push(format!("fig13/{}/{label}/{n}", dev.name), move || {
+                    let report = run_to_completion(
+                        cfg,
+                        |_| Box::new(Dwsl::new(SyncMode::Fsync, writes)) as Box<dyn Workload>,
+                        n,
+                        SimDuration::ZERO,
+                        SimDuration::from_secs(3600),
+                    );
+                    report.run.txns_per_sec()
+                });
             }
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for ((device, label, n), ops) in meta.into_iter().zip(results) {
+        rows.push(vec![
+            device.clone(),
+            label.to_string(),
+            n.to_string(),
+            format!("{:.0}", ops),
+        ]);
+        out.push((device, label, n, ops));
     }
     print_table(
         "Fig 13 — fxmark DWSL scalability (ops/s per core count)",
@@ -509,9 +581,7 @@ pub fn fig13(scale: u64) -> Vec<(String, &'static str, usize, f64)> {
 /// Fig 14: SQLite inserts/sec per journal mode and stack.
 pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
     let inserts = 500 * scale;
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
-    type MkSqlite = Box<dyn Fn(SqliteJournalMode, FileRef, FileRef, u64) -> Sqlite>;
+    type MkSqlite = fn(SqliteJournalMode, FileRef, FileRef, u64) -> Sqlite;
     // (a) mobile storage: durability rows.
     // (b) plain-SSD: ordering rows + the EXT4-DR baseline for the 73x claim.
     let cells: Vec<(DeviceProfile, &'static str, StackConfig, MkSqlite)> = vec![
@@ -519,67 +589,82 @@ pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
             DeviceProfile::ufs(),
             "EXT4-DR",
             StackConfig::ext4_dr(DeviceProfile::ufs()),
-            Box::new(Sqlite::durability),
+            Sqlite::durability,
         ),
         (
             DeviceProfile::ufs(),
             "BFS-DR",
             StackConfig::bfs(DeviceProfile::ufs()),
-            Box::new(Sqlite::barrier_durability),
+            Sqlite::barrier_durability,
         ),
         (
             DeviceProfile::ufs(),
             "BFS-OD",
             StackConfig::bfs(DeviceProfile::ufs()),
-            Box::new(Sqlite::ordering),
+            Sqlite::ordering,
         ),
         (
             DeviceProfile::plain_ssd(),
             "EXT4-DR",
             StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
-            Box::new(Sqlite::durability),
+            Sqlite::durability,
         ),
         (
             DeviceProfile::plain_ssd(),
             "EXT4-OD",
             StackConfig::ext4_od(DeviceProfile::plain_ssd()),
-            Box::new(Sqlite::durability),
+            Sqlite::durability,
         ),
         (
             DeviceProfile::plain_ssd(),
             "OptFS",
             StackConfig::optfs(DeviceProfile::plain_ssd()),
-            Box::new(Sqlite::ordering),
+            Sqlite::ordering,
         ),
         (
             DeviceProfile::plain_ssd(),
             "BFS-OD",
             StackConfig::bfs(DeviceProfile::plain_ssd()),
-            Box::new(Sqlite::ordering),
+            Sqlite::ordering,
         ),
     ];
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for mode in [SqliteJournalMode::Persist, SqliteJournalMode::Wal] {
         let mode_name = match mode {
             SqliteJournalMode::Persist => "PERSIST",
             SqliteJournalMode::Wal => "WAL",
         };
         for (dev, label, cfg, mk) in &cells {
-            let mut stack = IoStack::new(cfg.clone());
-            let db = stack.create_global_file();
-            let journal = stack.create_global_file();
-            let w = mk(mode, FileRef::Global(db), FileRef::Global(journal), inserts);
-            stack.add_thread(Box::new(w));
-            stack.start_measuring();
-            stack.run_until_done(SimDuration::from_secs(3600));
-            let tps = stack.report().run.txns_per_sec();
-            rows.push(vec![
-                mode_name.to_string(),
-                dev.name.clone(),
-                label.to_string(),
-                format!("{tps:.0}"),
-            ]);
-            out.push((mode_name.to_string(), dev.name.clone(), *label, tps));
+            meta.push((mode_name.to_string(), dev.name.clone(), *label));
+            let (cfg, mk) = (cfg.clone(), *mk);
+            grid.push(
+                format!("fig14/{mode_name}/{}/{label}", dev.name),
+                move || {
+                    let mut stack = IoStack::new(cfg);
+                    let db = stack.create_global_file();
+                    let journal = stack.create_global_file();
+                    let w = mk(mode, FileRef::Global(db), FileRef::Global(journal), inserts);
+                    stack.add_thread(Box::new(w));
+                    stack.start_measuring();
+                    stack.run_until_done(SimDuration::from_secs(3600));
+                    stack.report().run.txns_per_sec()
+                },
+            );
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for ((mode_name, device, label), tps) in meta.into_iter().zip(results) {
+        rows.push(vec![
+            mode_name.clone(),
+            device.clone(),
+            label.to_string(),
+            format!("{tps:.0}"),
+        ]);
+        out.push((mode_name, device, label, tps));
     }
     print_table(
         "Fig 14 — SQLite inserts/s (PERSIST and WAL journal modes)",
@@ -595,8 +680,8 @@ pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
 
 /// Fig 15: server workloads across the five stacks on two devices.
 pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
         let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
             (
@@ -614,43 +699,56 @@ pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
             ("BFS-OD", StackConfig::bfs(dev.clone()), SyncMode::Fbarrier),
         ];
         for (label, cfg, sync) in stacks {
+            meta.push((dev.name.clone(), label));
             // varmail: 16 threads.
             let iters = 100 * scale;
-            let report = run_to_completion(
-                cfg.clone(),
-                |_| Box::new(Varmail::new(sync, iters, 8)) as Box<dyn Workload>,
-                16,
-                SimDuration::ZERO,
-                SimDuration::from_secs(3600),
-            );
-            let varmail_ops = report.run.txns_per_sec();
+            let vcfg = cfg.clone();
+            grid.push(format!("fig15/{}/{label}/varmail", dev.name), move || {
+                let report = run_to_completion(
+                    vcfg,
+                    |_| Box::new(Varmail::new(sync, iters, 8)) as Box<dyn Workload>,
+                    16,
+                    SimDuration::ZERO,
+                    SimDuration::from_secs(3600),
+                );
+                report.run.txns_per_sec()
+            });
             // OLTP-insert: 8 client threads on shared table/redo/binlog.
             let txns = 200 * scale;
-            let mut stack = IoStack::new(cfg.clone());
-            let table = stack.create_global_file();
-            let redo = stack.create_global_file();
-            let binlog = stack.create_global_file();
-            for _ in 0..8 {
-                stack.add_thread(Box::new(OltpInsert::new(
-                    sync,
-                    FileRef::Global(table),
-                    FileRef::Global(redo),
-                    FileRef::Global(binlog),
-                    txns,
-                )));
-            }
-            stack.start_measuring();
-            stack.run_until_done(SimDuration::from_secs(3600));
-            let oltp_tps = stack.report().run.txns_per_sec();
-            rows.push(vec![
-                dev.name.clone(),
-                label.to_string(),
-                format!("{varmail_ops:.0}"),
-                format!("{oltp_tps:.0}"),
-            ]);
-            out.push((dev.name.clone(), "varmail".to_string(), label, varmail_ops));
-            out.push((dev.name.clone(), "oltp".to_string(), label, oltp_tps));
+            grid.push(format!("fig15/{}/{label}/oltp", dev.name), move || {
+                let mut stack = IoStack::new(cfg);
+                let table = stack.create_global_file();
+                let redo = stack.create_global_file();
+                let binlog = stack.create_global_file();
+                for _ in 0..8 {
+                    stack.add_thread(Box::new(OltpInsert::new(
+                        sync,
+                        FileRef::Global(table),
+                        FileRef::Global(redo),
+                        FileRef::Global(binlog),
+                        txns,
+                    )));
+                }
+                stack.start_measuring();
+                stack.run_until_done(SimDuration::from_secs(3600));
+                stack.report().run.txns_per_sec()
+            });
         }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), 2 * meta.len(), "fig15 cell/meta pairing");
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for ((device, label), pair) in meta.into_iter().zip(results.chunks(2)) {
+        let (varmail_ops, oltp_tps) = (pair[0], pair[1]);
+        rows.push(vec![
+            device.clone(),
+            label.to_string(),
+            format!("{varmail_ops:.0}"),
+            format!("{oltp_tps:.0}"),
+        ]);
+        out.push((device.clone(), "varmail".to_string(), label, varmail_ops));
+        out.push((device, "oltp".to_string(), label, oltp_tps));
     }
     print_table(
         "Fig 15 — server workloads: varmail (iterations/s) and OLTP-insert (Tx/s)",
@@ -668,8 +766,6 @@ pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
 /// the commit interval): BFS (tD) > no-flush (tD+tC) > quick flush
 /// (tD+tC+te) > full flush (tD+tC+tF).
 pub fn fig08(scale: u64) -> Vec<(&'static str, f64)> {
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
     let cells: Vec<(&'static str, StackConfig, SyncMode)> = vec![
         (
             "BarrierFS (tD)",
@@ -699,17 +795,28 @@ pub fn fig08(scale: u64) -> Vec<(&'static str, f64)> {
             SyncMode::Fsync,
         ),
     ];
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for (label, mut cfg, sync) in cells {
         cfg.fs.timer_tick = SimDuration::from_micros(1); // every sync commits
-        let (stack, report) = run_windowed_stack(
-            cfg,
-            |_| Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>,
-            4,
-            warm(),
-            window(scale),
-        );
-        let commits = stack.fs().stats().commits;
-        let per_sec = commits as f64 / report.run.elapsed.as_secs_f64();
+        meta.push(label);
+        grid.push(format!("fig08/{label}"), move || {
+            let (stack, report) = run_windowed_stack(
+                cfg,
+                |_| Box::new(Dwsl::new(sync, huge())) as Box<dyn Workload>,
+                4,
+                warm(),
+                window(scale),
+            );
+            let commits = stack.fs().stats().commits;
+            commits as f64 / report.run.elapsed.as_secs_f64()
+        });
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (label, per_sec) in meta.into_iter().zip(results) {
         let interval_us = if per_sec > 0.0 {
             1e6 / per_sec
         } else {
@@ -736,16 +843,25 @@ pub fn fig08(scale: u64) -> Vec<(&'static str, f64)> {
 
 /// Ablation: fdatabarrier throughput under each barrier engine.
 pub fn ablation_engines(scale: u64) -> Vec<(&'static str, f64)> {
-    let mut out = Vec::new();
-    let mut rows = Vec::new();
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for (label, mode) in [
         ("in-order writeback", BarrierMode::InOrderWriteback),
         ("transactional", BarrierMode::Transactional),
         ("LFS in-order recovery", BarrierMode::LfsInOrderRecovery),
     ] {
-        let dev = DeviceProfile::ufs().with_barrier_mode(mode);
-        let cfg = StackConfig::bfs(dev);
-        let (kiops, _) = with_file(cfg)(sync_workload(8192, SyncMode::Fdatabarrier)).kiops(scale);
+        meta.push(label);
+        grid.push(format!("engines/{label}"), move || {
+            let dev = DeviceProfile::ufs().with_barrier_mode(mode);
+            let cfg = StackConfig::bfs(dev);
+            measure_kiops(cfg, || sync_workload(8192, SyncMode::Fdatabarrier), scale).0
+        });
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (label, kiops) in meta.into_iter().zip(results) {
         rows.push(vec![label.to_string(), format!("{kiops:.2}")]);
         out.push((label, kiops));
     }
@@ -763,50 +879,63 @@ pub fn ablation_engines(scale: u64) -> Vec<(&'static str, f64)> {
 
 /// Crash audit: violation counts over `seeds` random crash points.
 pub fn ablation_crash(seeds: u64) -> Vec<(&'static str, u64, u64)> {
-    let mut rows = Vec::new();
-    let mut out = Vec::new();
-    type Cfg = Box<dyn Fn() -> StackConfig>;
+    type Cfg = fn() -> StackConfig;
+    fn bfs_barrier_dev() -> StackConfig {
+        StackConfig::bfs(DeviceProfile::ufs()).with_history()
+    }
+    fn ext4_full_flush() -> StackConfig {
+        StackConfig::ext4_dr(DeviceProfile::ufs()).with_history()
+    }
+    fn ext4_orderless_dev() -> StackConfig {
+        let mut d = DeviceProfile::ufs().with_barrier_mode(BarrierMode::Unsupported);
+        d.cache_blocks = 48;
+        StackConfig::ext4_od(d).with_history()
+    }
     let cells: Vec<(&'static str, Cfg, SyncMode)> = vec![
         (
             "BFS-OD on barrier device",
-            Box::new(|| StackConfig::bfs(DeviceProfile::ufs()).with_history()),
+            bfs_barrier_dev,
             SyncMode::Fbarrier,
         ),
-        (
-            "EXT4-DR (full flush)",
-            Box::new(|| StackConfig::ext4_dr(DeviceProfile::ufs()).with_history()),
-            SyncMode::Fsync,
-        ),
+        ("EXT4-DR (full flush)", ext4_full_flush, SyncMode::Fsync),
         (
             "EXT4-OD on orderless device",
-            Box::new(|| {
-                let mut d = DeviceProfile::ufs().with_barrier_mode(BarrierMode::Unsupported);
-                d.cache_blocks = 48;
-                StackConfig::ext4_od(d).with_history()
-            }),
+            ext4_orderless_dev,
             SyncMode::Fsync,
         ),
     ];
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
     for (label, mk_cfg, sync) in cells {
-        let mut crashes_with_violation = 0u64;
-        let mut total_violations = 0u64;
-        for seed in 0..seeds {
-            let mut cfg = mk_cfg().with_seed(seed);
-            cfg.fs.timer_tick = SimDuration::from_micros(1);
-            let mut stack = IoStack::new(cfg);
-            let f = stack.create_global_file();
-            stack.add_thread(Box::new(RandWrite::new(
-                FileRef::Global(f),
-                64,
-                WriteMode::SyncEach(sync),
-                100,
-            )));
-            stack.run_for(SimDuration::from_millis(2 + seed * 3));
-            let crash = stack.crash();
-            let v = crash.fs_violations.len() + crash.epoch_violations.len();
-            total_violations += v as u64;
-            crashes_with_violation += u64::from(v > 0);
-        }
+        meta.push(label);
+        grid.push(format!("crash/{label}"), move || {
+            let mut crashes_with_violation = 0u64;
+            let mut total_violations = 0u64;
+            for seed in 0..seeds {
+                let mut cfg = mk_cfg().with_seed(seed);
+                cfg.fs.timer_tick = SimDuration::from_micros(1);
+                let mut stack = IoStack::new(cfg);
+                let f = stack.create_global_file();
+                stack.add_thread(Box::new(RandWrite::new(
+                    FileRef::Global(f),
+                    64,
+                    WriteMode::SyncEach(sync),
+                    100,
+                )));
+                stack.run_for(SimDuration::from_millis(2 + seed * 3));
+                let crash = stack.crash();
+                let v = crash.fs_violations.len() + crash.epoch_violations.len();
+                total_violations += v as u64;
+                crashes_with_violation += u64::from(v > 0);
+            }
+            (crashes_with_violation, total_violations)
+        });
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, (crashes_with_violation, total_violations)) in meta.into_iter().zip(results) {
         rows.push(vec![
             label.to_string(),
             format!("{crashes_with_violation}/{seeds}"),

@@ -1,0 +1,185 @@
+//! [`ExperimentGrid`] — independent experiment cells on a worker pool.
+//!
+//! Every figure/table of the paper is a grid of independent simulation
+//! cells: one `(StackConfig, workload, seed)` combination per cell, no
+//! shared state between cells (each builds its own `IoStack`). The grid
+//! abstraction makes that explicit: experiments enqueue cells as closures,
+//! then run them either serially or on a `std::thread::scope` worker pool
+//! (no external dependencies — the build environment is offline).
+//!
+//! Results come back **in cell-enqueue order regardless of worker
+//! scheduling**, and cells never print; callers assemble and print tables
+//! only after `run` returns. Serial and parallel runs of the same grid
+//! therefore produce byte-identical output — `tests/grid_determinism.rs`
+//! locks that in, and CI diffs a serial vs parallel `figures` run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count override set by `figures --jobs N` (0 = auto).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total cells executed in this process (the CI smoke job reports this).
+static CELLS_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (0 restores auto).
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count `ExperimentGrid::run` uses: the `set_default_jobs`
+/// override if set, otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Cells executed so far in this process, across all grids.
+pub fn cells_run() -> usize {
+    CELLS_RUN.load(Ordering::Relaxed)
+}
+
+struct Cell<R> {
+    label: String,
+    run: Box<dyn FnOnce() -> R + Send>,
+}
+
+/// An ordered collection of independent experiment cells producing `R`.
+pub struct ExperimentGrid<R> {
+    cells: Vec<Cell<R>>,
+}
+
+impl<R> Default for ExperimentGrid<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> ExperimentGrid<R> {
+    /// An empty grid.
+    pub fn new() -> Self {
+        ExperimentGrid { cells: Vec::new() }
+    }
+
+    /// Number of enqueued cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell labels, in enqueue (= result) order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.cells.iter().map(|c| c.label.as_str())
+    }
+
+    /// Enqueues one cell. The closure must be self-contained (build its
+    /// own stack, return plain data, print nothing).
+    pub fn push(&mut self, label: impl Into<String>, run: impl FnOnce() -> R + Send + 'static) {
+        self.cells.push(Cell {
+            label: label.into(),
+            run: Box::new(run),
+        });
+    }
+}
+
+impl<R: Send> ExperimentGrid<R> {
+    /// Runs every cell with the process-default worker count and returns
+    /// the results in enqueue order.
+    pub fn run(self) -> Vec<R> {
+        let jobs = default_jobs();
+        self.run_with(jobs)
+    }
+
+    /// Runs every cell on `jobs` workers (`<= 1` runs serially on the
+    /// calling thread). Results are in enqueue order either way; a
+    /// panicking cell propagates its panic to the caller.
+    pub fn run_with(self, jobs: usize) -> Vec<R> {
+        let n = self.cells.len();
+        CELLS_RUN.fetch_add(n, Ordering::Relaxed);
+        if jobs <= 1 || n <= 1 {
+            return self.cells.into_iter().map(|c| (c.run)()).collect();
+        }
+        // Work-stealing by atomic index: workers claim the next unstarted
+        // cell, so long cells don't serialise behind short ones. Each
+        // result lands in its cell's slot — order is by index, never by
+        // completion time.
+        let work: Vec<Mutex<Option<Cell<R>>>> = self
+            .cells
+            .into_iter()
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs.min(n) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("cell claimed twice");
+                    let r = (cell.run)();
+                    *results[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker pool ran every claimed cell")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_enqueue_order() {
+        let mut g: ExperimentGrid<usize> = ExperimentGrid::new();
+        for i in 0..32 {
+            // Uneven cell costs: later cells finish first under
+            // parallelism unless ordering is enforced.
+            g.push(format!("cell{i}"), move || {
+                std::thread::sleep(std::time::Duration::from_micros(((32 - i) * 200) as u64));
+                i
+            });
+        }
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.run_with(8), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let build = || {
+            let mut g: ExperimentGrid<u64> = ExperimentGrid::new();
+            for i in 0..10u64 {
+                g.push(format!("c{i}"), move || i * i);
+            }
+            g
+        };
+        assert_eq!(build().run_with(1), build().run_with(4));
+    }
+
+    #[test]
+    fn labels_track_cells() {
+        let mut g: ExperimentGrid<()> = ExperimentGrid::new();
+        g.push("a", || ());
+        g.push("b", || ());
+        assert_eq!(g.labels().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+}

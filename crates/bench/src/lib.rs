@@ -14,6 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+mod grid;
+
+pub use grid::{cells_run, default_jobs, set_default_jobs, ExperimentGrid};
 
 use barrier_io::{IoStack, StackConfig, StackReport, Workload};
 use bio_sim::SimDuration;

@@ -1,0 +1,63 @@
+//! Determinism regression tests for the parallel experiment grid: running
+//! the same `(StackConfig, seed)` cells serially or on the worker pool
+//! must produce identical `StackReport`s, and repeated serial runs must be
+//! bit-identical. The simulator's reproducibility story depends on it.
+
+use barrier_io::{DeviceProfile, FileRef, SimDuration, StackConfig, Workload};
+use bio_bench::{run_windowed, ExperimentGrid};
+use bio_workloads::{RandWrite, SyncMode, WriteMode};
+
+/// One grid over the experiment matrix: device x mode x seed. Each cell
+/// runs a real stack and returns the full report, formatted (StackReport
+/// holds floats and has no Eq; its Debug form captures every field).
+fn report_grid() -> ExperimentGrid<String> {
+    let mut grid = ExperimentGrid::new();
+    for (di, dev) in [DeviceProfile::ufs(), DeviceProfile::plain_ssd()]
+        .into_iter()
+        .enumerate()
+    {
+        for seed in [7u64, 21] {
+            for (label, cfg) in [
+                ("ext4", StackConfig::ext4_dr(dev.clone())),
+                ("bfs", StackConfig::bfs(dev.clone())),
+            ] {
+                let cfg = cfg.with_seed(seed);
+                grid.push(format!("{label}/dev{di}/seed{seed}"), move || {
+                    let report = run_windowed(
+                        cfg,
+                        |_| {
+                            Box::new(RandWrite::new(
+                                FileRef::Global(0),
+                                256,
+                                WriteMode::SyncEach(SyncMode::Fdatasync),
+                                u64::MAX / 2,
+                            )) as Box<dyn Workload>
+                        },
+                        2,
+                        SimDuration::from_millis(5),
+                        SimDuration::from_millis(20),
+                    );
+                    format!("{report:?}")
+                });
+            }
+        }
+    }
+    grid
+}
+
+#[test]
+fn parallel_grid_matches_serial() {
+    let serial = report_grid().run_with(1);
+    let parallel = report_grid().run_with(4);
+    assert_eq!(serial.len(), 8);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "cell {i}: parallel run diverged from serial");
+    }
+}
+
+#[test]
+fn serial_reruns_are_bit_identical() {
+    let a = report_grid().run_with(1);
+    let b = report_grid().run_with(1);
+    assert_eq!(a, b, "two serial runs of the same grid diverged");
+}

@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 
 use bio_flash::{CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
-use bio_sim::{SimDuration, SimTime};
+use bio_sim::{ActionSink, SimDuration, SimTime};
 
 use crate::epoch::EpochScheduler;
 use crate::request::{BlockRequest, MergedRequest, ReqId, ReqOp};
@@ -84,6 +84,9 @@ pub struct BlockLayer {
     retry_pending: bool,
     next_cmd: u64,
     stats: BlockStats,
+    /// Reusable scratch for device actions — the device write path runs
+    /// once per command, so this keeps the hot loop allocation-free.
+    dev_scratch: Vec<DevAction>,
 }
 
 impl BlockLayer {
@@ -101,6 +104,7 @@ impl BlockLayer {
             retry_pending: false,
             next_cmd: 1,
             stats: BlockStats::default(),
+            dev_scratch: Vec::new(),
         }
     }
 
@@ -125,19 +129,20 @@ impl BlockLayer {
     }
 
     /// Submits a request from the filesystem.
-    pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut Vec<BlockAction>) {
+    pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut ActionSink<BlockAction>) {
         self.stats.submitted += 1;
         self.sched.enqueue(req);
         self.pump(now, out);
     }
 
     /// Handles a previously scheduled [`BlockEvent`].
-    pub fn handle(&mut self, ev: BlockEvent, now: SimTime, out: &mut Vec<BlockAction>) {
+    pub fn handle(&mut self, ev: BlockEvent, now: SimTime, out: &mut ActionSink<BlockAction>) {
         match ev {
             BlockEvent::Dev(dev_ev) => {
-                let mut dev_actions = Vec::new();
-                self.dev.handle(dev_ev, now, &mut dev_actions);
-                self.apply_dev_actions(dev_actions, now, out);
+                let mut scratch = std::mem::take(&mut self.dev_scratch);
+                self.dev.handle(dev_ev, now, &mut scratch);
+                self.apply_dev_actions(&mut scratch, now, out);
+                self.dev_scratch = scratch;
                 // Completions free device queue slots: keep dispatching.
                 self.pump(now, out);
             }
@@ -148,7 +153,8 @@ impl BlockLayer {
         }
     }
 
-    fn pump(&mut self, now: SimTime, out: &mut Vec<BlockAction>) {
+    fn pump(&mut self, now: SimTime, out: &mut ActionSink<BlockAction>) {
+        let mut scratch = std::mem::take(&mut self.dev_scratch);
         loop {
             // Re-offer a held (bounced) request first to preserve order.
             let m = match self.held.take() {
@@ -166,12 +172,11 @@ impl BlockLayer {
             let cmd = self.build_command(&m);
             let ids = m.ids.clone();
             let cmd_id = cmd.id;
-            let mut dev_actions = Vec::new();
-            match self.dev.submit(cmd, now, &mut dev_actions) {
+            match self.dev.submit(cmd, now, &mut scratch) {
                 Ok(()) => {
                     self.stats.dispatched += 1;
                     self.inflight.insert(cmd_id, ids);
-                    self.apply_dev_actions(dev_actions, now, out);
+                    self.apply_dev_actions(&mut scratch, now, out);
                 }
                 Err(_cmd) => {
                     // Device busy: hold the request and retry later
@@ -186,6 +191,7 @@ impl BlockLayer {
                 }
             }
         }
+        self.dev_scratch = scratch;
     }
 
     fn build_command(&mut self, m: &MergedRequest) -> Command {
@@ -211,13 +217,14 @@ impl BlockLayer {
         }
     }
 
+    /// Drains `actions` (the reusable device scratch) into block actions.
     fn apply_dev_actions(
         &mut self,
-        actions: Vec<DevAction>,
+        actions: &mut Vec<DevAction>,
         _now: SimTime,
-        out: &mut Vec<BlockAction>,
+        out: &mut ActionSink<BlockAction>,
     ) {
-        for a in actions {
+        for a in actions.drain(..) {
             match a {
                 DevAction::Complete(c) => {
                     let ids = self

@@ -15,13 +15,16 @@
 //!   constituent bio.
 //!
 //! ```
-//! use bio_block::{BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId, SchedulerKind};
+//! use bio_block::{
+//!     ActionSink, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId, SchedulerKind,
+//! };
 //! use bio_flash::{BlockTag, Device, DeviceProfile, Lba};
 //! use bio_sim::SimTime;
 //!
 //! let dev = Device::new(DeviceProfile::ufs(), 7);
 //! let mut layer = BlockLayer::new(dev, SchedulerKind::Elevator, DispatchMode::OrderPreserving);
-//! let mut out = Vec::new();
+//! // One reusable sink serves every submit/handle call.
+//! let mut out = ActionSink::new();
 //! let req = BlockRequest::write(ReqId(1), Lba(0), vec![BlockTag(1)], ReqFlags::BARRIER);
 //! layer.submit(req, SimTime::ZERO, &mut out);
 //! assert!(!out.is_empty());
@@ -35,6 +38,7 @@ mod epoch;
 mod request;
 mod scheduler;
 
+pub use bio_sim::ActionSink;
 pub use dispatch::{
     BlockAction, BlockEvent, BlockLayer, BlockStats, DispatchMode, BUSY_RETRY_INTERVAL,
 };

@@ -1,7 +1,8 @@
 //! End-to-end block layer behaviour over the simulated device.
 
 use bio_block::{
-    BlockAction, BlockEvent, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId, SchedulerKind,
+    ActionSink, BlockAction, BlockEvent, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId,
+    SchedulerKind,
 };
 use bio_flash::{audit_epoch_order, BlockTag, Device, DeviceProfile, Lba};
 use bio_sim::{EventQueue, SimTime};
@@ -9,6 +10,9 @@ use bio_sim::{EventQueue, SimTime};
 struct Harness {
     layer: BlockLayer,
     q: EventQueue<BlockEvent>,
+    /// One reusable sink for every submit/handle call, like the real
+    /// embedding stack.
+    out: ActionSink<BlockAction>,
     done: Vec<(ReqId, SimTime)>,
 }
 
@@ -18,12 +22,13 @@ impl Harness {
         Harness {
             layer: BlockLayer::new(dev, SchedulerKind::Elevator, mode),
             q: EventQueue::new(),
+            out: ActionSink::new(),
             done: Vec::new(),
         }
     }
 
-    fn apply(&mut self, actions: Vec<BlockAction>) {
-        for a in actions {
+    fn apply(&mut self) {
+        for a in self.out.drain() {
             match a {
                 BlockAction::Complete(id, at) => self.done.push((id, at)),
                 BlockAction::After(d, ev) => self.q.push_after(d, ev),
@@ -32,17 +37,15 @@ impl Harness {
     }
 
     fn submit(&mut self, req: BlockRequest) {
-        let mut out = Vec::new();
         let now = self.q.now();
-        self.layer.submit(req, now, &mut out);
-        self.apply(out);
+        self.layer.submit(req, now, &mut self.out);
+        self.apply();
     }
 
     fn run(&mut self) {
         while let Some((now, ev)) = self.q.pop() {
-            let mut out = Vec::new();
-            self.layer.handle(ev, now, &mut out);
-            self.apply(out);
+            self.layer.handle(ev, now, &mut self.out);
+            self.apply();
         }
     }
 
@@ -51,9 +54,8 @@ impl Harness {
             let Some((now, ev)) = self.q.pop() else {
                 return;
             };
-            let mut out = Vec::new();
-            self.layer.handle(ev, now, &mut out);
-            self.apply(out);
+            self.layer.handle(ev, now, &mut self.out);
+            self.apply();
         }
     }
 }

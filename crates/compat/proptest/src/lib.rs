@@ -45,6 +45,21 @@ pub mod strategy {
         )+};
     }
     int_range_strategy!(u8, u16, u32, u64, usize);
+
+    // Tuple strategies, like the real crate's: each component generates in
+    // order, so `(0u64..10, 0u8..4)` yields pairs. Used by the event-queue
+    // property tests for `(time, payload)` schedules.
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2));
 }
 
 pub mod collection {

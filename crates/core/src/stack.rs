@@ -8,7 +8,7 @@ use bio_fs::{
     check_crash_consistency, FileId, Filesystem, FsAction, FsEvent, FsStats, FsViolation,
     SyscallOutcome, ThreadId,
 };
-use bio_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use bio_sim::{ActionSink, EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::config::StackConfig;
 use crate::metrics::{Metrics, RunReport};
@@ -95,6 +95,12 @@ pub struct IoStack {
     global_files: Vec<FileId>,
     measure_start: SimTime,
     dev_blocks_at_start: u64,
+    /// Reusable scratch the filesystem writes its actions into; drained by
+    /// the routing work loop after every syscall/event, so steady-state
+    /// event processing allocates nothing.
+    fs_sink: ActionSink<FsAction>,
+    /// Reusable scratch for block-layer actions (same lifecycle).
+    block_sink: ActionSink<BlockAction>,
 }
 
 impl IoStack {
@@ -114,12 +120,13 @@ impl IoStack {
             global_files: Vec::new(),
             measure_start: SimTime::ZERO,
             dev_blocks_at_start: 0,
+            fs_sink: ActionSink::new(),
+            block_sink: ActionSink::new(),
             cfg,
         };
         // Arm the filesystem's periodic tasks through the router.
-        let mut out = Vec::new();
-        stack.fs.start(&mut out);
-        stack.route_fs(out);
+        stack.fs.start(&mut stack.fs_sink);
+        stack.route_fs_actions();
         stack
     }
 
@@ -146,9 +153,8 @@ impl IoStack {
     /// Creates a shared file visible to workloads as
     /// [`FileRef::Global`]`(index)`. Call before starting the run.
     pub fn create_global_file(&mut self) -> usize {
-        let mut out = Vec::new();
-        let fid = self.fs.create(ThreadId(0), &mut out);
-        self.route_fs(out);
+        let fid = self.fs.create(ThreadId(0), &mut self.fs_sink);
+        self.route_fs_actions();
         self.global_files.push(fid);
         self.global_files.len() - 1
     }
@@ -176,14 +182,21 @@ impl IoStack {
     // Event routing.
     // ------------------------------------------------------------------
 
-    fn route_fs(&mut self, actions: Vec<FsAction>) {
-        for a in actions {
+    /// Drains the filesystem action sink — the explicit work loop that
+    /// replaced the old `route_fs` → `route_block` recursion. Filesystem
+    /// actions are processed in emission order; a `Submit` runs the block
+    /// layer immediately and drains its actions before the next
+    /// filesystem action, which preserves the depth-first routing order
+    /// of the recursive version exactly (the block layer never emits
+    /// filesystem actions, so the loop is flat).
+    fn route_fs_actions(&mut self) {
+        let mut actions = self.fs_sink.take_buf();
+        for a in actions.drain(..) {
             match a {
                 FsAction::Submit(req) => {
-                    let mut out = Vec::new();
                     let now = self.q.now();
-                    self.block.submit(req, now, &mut out);
-                    self.route_block(out);
+                    self.block.submit(req, now, &mut self.block_sink);
+                    self.route_block_actions();
                 }
                 FsAction::Wake(tid) => {
                     self.complete_op(tid);
@@ -197,10 +210,14 @@ impl IoStack {
                 }
             }
         }
+        self.fs_sink.restore(actions);
     }
 
-    fn route_block(&mut self, actions: Vec<BlockAction>) {
-        for a in actions {
+    /// Drains the block action sink into scheduled events. Block actions
+    /// never re-enter a layer state machine, so this loop cannot grow its
+    /// own input.
+    fn route_block_actions(&mut self) {
+        for a in self.block_sink.drain() {
             match a {
                 BlockAction::Complete(rid, _at) => {
                     self.q.push_now(Event::Fs(FsEvent::ReqDone(rid)));
@@ -261,7 +278,7 @@ impl IoStack {
             th.current_kind = kind;
             th.op_started = now;
         }
-        let mut out = Vec::new();
+        debug_assert!(self.fs_sink.is_empty(), "sink drained between ops");
         let outcome = match op {
             Op::Think { dur } => {
                 self.metrics.record_op(OpKind::Think, dur);
@@ -274,7 +291,7 @@ impl IoStack {
                 return;
             }
             Op::Create { slot } => {
-                let fid = self.fs.create(tid, &mut out);
+                let fid = self.fs.create(tid, &mut self.fs_sink);
                 let th = &mut self.threads[idx];
                 if th.slots.len() <= slot {
                     th.slots.resize(slot + 1, fid);
@@ -284,7 +301,7 @@ impl IoStack {
             }
             Op::Unlink { file } => {
                 let f = self.resolve(tid, file);
-                self.fs.unlink(tid, f, &mut out);
+                self.fs.unlink(tid, f, &mut self.fs_sink);
                 SyscallOutcome::Done
             }
             Op::Write {
@@ -293,7 +310,8 @@ impl IoStack {
                 blocks,
             } => {
                 let f = self.resolve(tid, file);
-                self.fs.write(tid, f, offset, blocks, now, &mut out)
+                self.fs
+                    .write(tid, f, offset, blocks, now, &mut self.fs_sink)
             }
             Op::Read {
                 file,
@@ -301,26 +319,26 @@ impl IoStack {
                 blocks,
             } => {
                 let f = self.resolve(tid, file);
-                self.fs.read(tid, f, offset, blocks, &mut out)
+                self.fs.read(tid, f, offset, blocks, &mut self.fs_sink)
             }
             Op::Fsync { file } => {
                 let f = self.resolve(tid, file);
-                self.fs.fsync(tid, f, now, &mut out)
+                self.fs.fsync(tid, f, now, &mut self.fs_sink)
             }
             Op::Fdatasync { file } => {
                 let f = self.resolve(tid, file);
-                self.fs.fdatasync(tid, f, now, &mut out)
+                self.fs.fdatasync(tid, f, now, &mut self.fs_sink)
             }
             Op::Fbarrier { file } => {
                 let f = self.resolve(tid, file);
-                self.fs.fbarrier(tid, f, now, &mut out)
+                self.fs.fbarrier(tid, f, now, &mut self.fs_sink)
             }
             Op::Fdatabarrier { file } => {
                 let f = self.resolve(tid, file);
-                self.fs.fdatabarrier(tid, f, now, &mut out)
+                self.fs.fdatabarrier(tid, f, now, &mut self.fs_sink)
             }
         };
-        self.route_fs(out);
+        self.route_fs_actions();
         match outcome {
             SyscallOutcome::Done => {
                 self.metrics.record_op(kind, SimDuration::ZERO);
@@ -357,31 +375,34 @@ impl IoStack {
         let Some((now, ev)) = self.q.pop() else {
             return false;
         };
+        self.dispatch_event(ev, now);
+        self.maybe_uncongest();
+        true
+    }
+
+    /// Routes one popped event into the owning layer and drains the
+    /// resulting actions through the reusable sinks.
+    fn dispatch_event(&mut self, ev: Event, now: SimTime) {
         match ev {
             Event::Fs(ev) => {
-                let mut out = Vec::new();
-                self.fs.handle(ev, now, &mut out);
-                self.route_fs(out);
+                self.fs.handle(ev, now, &mut self.fs_sink);
+                self.route_fs_actions();
             }
             Event::Block(ev) => {
-                let mut out = Vec::new();
-                self.block.handle(ev, now, &mut out);
-                self.route_block(out);
+                self.block.handle(ev, now, &mut self.block_sink);
+                self.route_block_actions();
             }
             Event::ThreadNext(tid) => self.thread_issue(tid, now),
         }
-        self.maybe_uncongest();
-        true
     }
 
     /// Runs for a simulated duration (events beyond the deadline stay
     /// queued).
     pub fn run_for(&mut self, d: SimDuration) {
         let deadline = self.q.now() + d;
-        while self.q.peek_time().is_some_and(|t| t <= deadline) {
-            if !self.step() {
-                break;
-            }
+        while let Some((now, ev)) = self.q.pop_at_or_before(deadline) {
+            self.dispatch_event(ev, now);
+            self.maybe_uncongest();
         }
     }
 
@@ -398,10 +419,11 @@ impl IoStack {
             if all_done {
                 return true;
             }
-            if self.q.peek_time().is_none_or(|t| t > deadline) {
+            let Some((now, ev)) = self.q.pop_at_or_before(deadline) else {
                 return false;
-            }
-            self.step();
+            };
+            self.dispatch_event(ev, now);
+            self.maybe_uncongest();
         }
     }
 

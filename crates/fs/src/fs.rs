@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use bio_block::{BlockRequest, ReqFlags, ReqId};
 use bio_flash::{BlockTag, Lba};
-use bio_sim::{SimDuration, SimTime};
+use bio_sim::{ActionSink, SimDuration, SimTime};
 
 use crate::config::{FsConfig, FsMode};
 use crate::file::{FileId, FileTable};
@@ -220,7 +220,7 @@ impl Filesystem {
 
     /// Arms the periodic background tasks (pdflush, OptFS flusher). Call
     /// once after construction.
-    pub fn start(&mut self, out: &mut Vec<FsAction>) {
+    pub fn start(&mut self, out: &mut ActionSink<FsAction>) {
         out.push(FsAction::After(
             self.cfg.writeback_interval,
             FsEvent::Pdflush,
@@ -254,7 +254,7 @@ impl Filesystem {
     }
 
     /// Creates a file.
-    pub fn create(&mut self, _tid: ThreadId, out: &mut Vec<FsAction>) -> FileId {
+    pub fn create(&mut self, _tid: ThreadId, out: &mut ActionSink<FsAction>) -> FileId {
         let id = self.files.create(&mut self.layout);
         let f = self.files.get(id);
         let (lba, tag) = (f.inode_lba, f.meta_tag);
@@ -263,7 +263,7 @@ impl Filesystem {
     }
 
     /// Deletes a file (metadata-only in this model).
-    pub fn unlink(&mut self, _tid: ThreadId, file: FileId, out: &mut Vec<FsAction>) {
+    pub fn unlink(&mut self, _tid: ThreadId, file: FileId, out: &mut ActionSink<FsAction>) {
         let f = self.files.get_mut(file);
         f.live = false;
         let dropped = f.dirty_data.len() as u64;
@@ -293,7 +293,7 @@ impl Filesystem {
         offset: u64,
         blocks: u64,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         assert!(blocks > 0, "zero-length write");
         let tick = now.as_nanos() / self.cfg.timer_tick.as_nanos().max(1);
@@ -389,7 +389,7 @@ impl Filesystem {
         file: FileId,
         inode_lba: Lba,
         tag: BlockTag,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) {
         let rt = self.ensure_running(out);
         self.txns
@@ -399,7 +399,7 @@ impl Filesystem {
         self.files.get_mut(file).txn = Some(rt);
     }
 
-    pub(crate) fn ensure_running(&mut self, _out: &mut Vec<FsAction>) -> TxnId {
+    pub(crate) fn ensure_running(&mut self, _out: &mut ActionSink<FsAction>) -> TxnId {
         if let Some(rt) = self.running {
             return rt;
         }
@@ -423,7 +423,7 @@ impl Filesystem {
         file: FileId,
         flags: ReqFlags,
         barrier_on_last: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> (Vec<ReqId>, Vec<(Lba, BlockTag)>) {
         let dirty: Vec<(u64, BlockTag)> = {
             let f = self.files.get_mut(file);
@@ -475,7 +475,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         self.sync_common(tid, file, false, now, out)
     }
@@ -486,7 +486,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         self.sync_common(tid, file, true, now, out)
     }
@@ -497,7 +497,7 @@ impl Filesystem {
         file: FileId,
         datasync: bool,
         _now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         match self.cfg.mode {
             FsMode::Ext4 | FsMode::Ext4NoBarrier => self.ext4_sync(tid, file, datasync, out),
@@ -513,7 +513,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         match self.cfg.mode {
             FsMode::BarrierFs => self.bfs_barrier(tid, file, false, out),
@@ -530,7 +530,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         match self.cfg.mode {
             FsMode::BarrierFs => self.bfs_barrier(tid, file, true, out),
@@ -546,7 +546,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         datasync: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         let has_dirty = !self.files.get(file).dirty_data.is_empty();
         if has_dirty {
@@ -573,7 +573,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         datasync: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         // Wait on an in-flight commit holding this inode.
         if let Some(holder) = self.committing_holder(file) {
@@ -618,7 +618,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         datasync: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         let has_dirty = !self.files.get(file).dirty_data.is_empty();
         let meta_dirty = self.files.get(file).metadata_dirty(datasync);
@@ -693,7 +693,7 @@ impl Filesystem {
         tid: ThreadId,
         file: FileId,
         datasync: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         let has_dirty = !self.files.get(file).dirty_data.is_empty();
         let meta_dirty = !datasync && self.files.get(file).metadata_dirty(false);
@@ -732,7 +732,12 @@ impl Filesystem {
 
     /// Registers `tid` as a durability waiter of `txn`, arranging a flush
     /// if the transaction is past the point where one would happen.
-    pub(crate) fn await_txn_durable(&mut self, tid: ThreadId, txn: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn await_txn_durable(
+        &mut self,
+        tid: ThreadId,
+        txn: TxnId,
+        out: &mut ActionSink<FsAction>,
+    ) {
         let state = self.txns.get(&txn).expect("txn").state;
         debug_assert!(state < TxnState::Durable, "awaiting already-durable txn");
         self.txns
@@ -753,7 +758,7 @@ impl Filesystem {
         if pairs.is_empty() {
             return;
         }
-        let mut scratch = Vec::new();
+        let mut scratch = ActionSink::new();
         let rt = self.ensure_running(&mut scratch);
         debug_assert!(scratch.is_empty());
         self.txns
@@ -815,7 +820,7 @@ impl Filesystem {
         file: FileId,
         offset: u64,
         blocks: u64,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         let f = self.files.get(file);
         let cached = (offset..offset + blocks)
@@ -838,7 +843,7 @@ impl Filesystem {
 
     /// Processes an event previously emitted via [`FsAction::After`] or a
     /// request completion routed from the block layer.
-    pub fn handle(&mut self, ev: FsEvent, now: SimTime, out: &mut Vec<FsAction>) {
+    pub fn handle(&mut self, ev: FsEvent, now: SimTime, out: &mut ActionSink<FsAction>) {
         match ev {
             FsEvent::ReqDone(rid) => self.on_req_done(rid, now, out),
             FsEvent::Step(tid) => self.on_step(tid, now, out),
@@ -860,7 +865,7 @@ impl Filesystem {
         }
     }
 
-    fn on_req_done(&mut self, rid: ReqId, now: SimTime, out: &mut Vec<FsAction>) {
+    fn on_req_done(&mut self, rid: ReqId, now: SimTime, out: &mut ActionSink<FsAction>) {
         let purpose = self
             .purposes
             .remove(&rid)
@@ -887,7 +892,7 @@ impl Filesystem {
         }
     }
 
-    fn on_data_done(&mut self, tid: ThreadId, rid: ReqId, out: &mut Vec<FsAction>) {
+    fn on_data_done(&mut self, tid: ThreadId, rid: ReqId, out: &mut ActionSink<FsAction>) {
         let Some(SyscallState::AwaitData {
             pending,
             file,
@@ -911,7 +916,7 @@ impl Filesystem {
         out.push(FsAction::After(self.cfg.ctx_switch, FsEvent::Step(tid)));
     }
 
-    fn on_step(&mut self, tid: ThreadId, now: SimTime, out: &mut Vec<FsAction>) {
+    fn on_step(&mut self, tid: ThreadId, now: SimTime, out: &mut ActionSink<FsAction>) {
         let Some(SyscallState::Stepping { file, then }) = self.syscalls.get(&tid).cloned() else {
             return;
         };
@@ -941,7 +946,7 @@ impl Filesystem {
         &mut self,
         tid: ThreadId,
         now: SimTime,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) {
         let Some(SyscallState::AwaitConflict {
             file,
@@ -962,7 +967,7 @@ impl Filesystem {
     }
 
     /// Background writeback: submits orderless writes for dirty pages.
-    fn pdflush(&mut self, out: &mut Vec<FsAction>) {
+    fn pdflush(&mut self, out: &mut ActionSink<FsAction>) {
         let mut budget = self.cfg.writeback_batch;
         let ids: Vec<FileId> = self.files.ids().collect();
         for id in ids {

@@ -19,7 +19,7 @@
 //! transactions can be in the committing list at once.
 
 use bio_block::{BlockRequest, ReqFlags};
-use bio_sim::SimTime;
+use bio_sim::{ActionSink, SimTime};
 
 use crate::config::FsMode;
 use crate::file::FileId;
@@ -30,13 +30,13 @@ use crate::txn::{ThreadId, TxnId, TxnState};
 impl Filesystem {
     /// Requests a commit of `txn` (which must be the running transaction)
     /// and schedules the commit thread.
-    pub(crate) fn trigger_commit(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn trigger_commit(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
         debug_assert_eq!(self.running, Some(txn));
         self.txns.get_mut(&txn).expect("txn").commit_requested = true;
         self.schedule_commit_run(out);
     }
 
-    pub(crate) fn schedule_commit_run(&mut self, out: &mut Vec<FsAction>) {
+    pub(crate) fn schedule_commit_run(&mut self, out: &mut ActionSink<FsAction>) {
         if self.commit_scheduled {
             return;
         }
@@ -48,7 +48,7 @@ impl Filesystem {
     }
 
     /// The commit thread body.
-    pub(crate) fn on_commit_run(&mut self, _now: SimTime, out: &mut Vec<FsAction>) {
+    pub(crate) fn on_commit_run(&mut self, _now: SimTime, out: &mut ActionSink<FsAction>) {
         self.commit_scheduled = false;
         match self.cfg.mode {
             FsMode::BarrierFs => self.dual_mode_commit(out),
@@ -59,7 +59,7 @@ impl Filesystem {
     /// Legacy JBD: at most one committing transaction; JD then JC with
     /// Wait-on-Transfer between them (the JC submit happens in
     /// `on_jd_done`).
-    fn jbd_commit(&mut self, out: &mut Vec<FsAction>) {
+    fn jbd_commit(&mut self, out: &mut ActionSink<FsAction>) {
         // A commit is already in flight: it will reschedule us when done.
         if !self.committing.is_empty() {
             return;
@@ -79,7 +79,7 @@ impl Filesystem {
     /// BarrierFS commit thread: commits the running transaction with
     /// order-preserving requests and immediately becomes available for the
     /// next one. No transfer waits anywhere.
-    fn dual_mode_commit(&mut self, out: &mut Vec<FsAction>) {
+    fn dual_mode_commit(&mut self, out: &mut ActionSink<FsAction>) {
         loop {
             let Some(rt) = self.running else { return };
             if !self.txns[&rt].commit_requested {
@@ -135,7 +135,7 @@ impl Filesystem {
         true
     }
 
-    fn submit_jd(&mut self, txn: TxnId, extra: ReqFlags, out: &mut Vec<FsAction>) {
+    fn submit_jd(&mut self, txn: TxnId, extra: ReqFlags, out: &mut ActionSink<FsAction>) {
         let (n_logs, data_journal) = {
             let t = &self.txns[&txn];
             (t.buffers.len() as u64, t.data_journal.len() as u64)
@@ -161,7 +161,12 @@ impl Filesystem {
         out.push(FsAction::Submit(BlockRequest::write(rid, lba, tags, flags)));
     }
 
-    pub(crate) fn submit_jc(&mut self, txn: TxnId, extra: ReqFlags, out: &mut Vec<FsAction>) {
+    pub(crate) fn submit_jc(
+        &mut self,
+        txn: TxnId,
+        extra: ReqFlags,
+        out: &mut ActionSink<FsAction>,
+    ) {
         let jc_lba = self.txns[&txn].jc_lba.expect("jc placed with jd");
         let tag = self.layout.next_tag();
         self.txns.get_mut(&txn).expect("txn").jc_tag = Some(tag);
@@ -204,7 +209,7 @@ impl Filesystem {
 
     /// JD transfer completed (legacy modes only — BarrierFS needs no
     /// action here because JC was dispatched back-to-back).
-    pub(crate) fn on_jd_done(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn on_jd_done(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
         if self.cfg.mode == FsMode::BarrierFs {
             return;
         }
@@ -213,7 +218,7 @@ impl Filesystem {
 
     /// JC transfer completed: the commit is transferred; durability and
     /// release depend on the mode.
-    pub(crate) fn on_jc_done(&mut self, txn: TxnId, now: SimTime, out: &mut Vec<FsAction>) {
+    pub(crate) fn on_jc_done(&mut self, txn: TxnId, now: SimTime, out: &mut ActionSink<FsAction>) {
         self.txns.get_mut(&txn).expect("txn").state = TxnState::Transferred;
         // OptFS osync waiters are satisfied by the transfer.
         let transfer_waiters =
@@ -270,7 +275,7 @@ impl Filesystem {
 
     /// Issues a flush covering every currently transferred transaction
     /// (the flush thread's job). Coalesces with an in-flight flush.
-    pub(crate) fn request_txn_flush(&mut self, out: &mut Vec<FsAction>) {
+    pub(crate) fn request_txn_flush(&mut self, out: &mut ActionSink<FsAction>) {
         if self.flush_inflight {
             self.flush_again = true;
             return;
@@ -288,7 +293,7 @@ impl Filesystem {
         out.push(FsAction::Submit(BlockRequest::flush(rid)));
     }
 
-    pub(crate) fn on_txn_flush_done(&mut self, upto: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn on_txn_flush_done(&mut self, upto: TxnId, out: &mut ActionSink<FsAction>) {
         self.flush_inflight = false;
         // Every transaction transferred before the flush is now durable.
         let mut ready: Vec<TxnId> = self
@@ -323,7 +328,7 @@ impl Filesystem {
         &mut self,
         txn: TxnId,
         real_durability: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) {
         let t = self.txns.get_mut(&txn).expect("txn");
         if t.state >= TxnState::Durable {
@@ -353,7 +358,7 @@ impl Filesystem {
         txn: TxnId,
         now: SimTime,
         checkpoint: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) {
         self.committing.retain(|t| *t != txn);
         // Release inode buffers.
@@ -390,7 +395,7 @@ impl Filesystem {
 
     /// Called when a legacy (single-slot) commit finishes, to start the
     /// next requested commit.
-    fn after_commit_slot_freed(&mut self, out: &mut Vec<FsAction>) {
+    fn after_commit_slot_freed(&mut self, out: &mut ActionSink<FsAction>) {
         if let Some(rt) = self.running {
             if self.txns[&rt].commit_requested {
                 self.schedule_commit_run(out);
@@ -400,7 +405,7 @@ impl Filesystem {
 
     /// Submits the in-place metadata (and OptFS data) writes of a released
     /// transaction.
-    pub(crate) fn start_checkpoint(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn start_checkpoint(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
         let writes: Vec<(bio_flash::Lba, bio_flash::BlockTag)> = {
             let t = &self.txns[&txn];
             t.buffers
@@ -434,7 +439,7 @@ impl Filesystem {
         }
     }
 
-    pub(crate) fn on_checkpoint_done(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+    pub(crate) fn on_checkpoint_done(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
         let left = self
             .checkpoints_left
             .get_mut(&txn)
@@ -446,7 +451,7 @@ impl Filesystem {
         }
     }
 
-    fn finish_checkpoint(&mut self, txn: TxnId, out: &mut Vec<FsAction>) {
+    fn finish_checkpoint(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
         let blocks = self.txns[&txn].journal_blocks();
         self.journal_used = self.journal_used.saturating_sub(blocks);
         // The transaction is complete; drop it (records keep the history).
@@ -470,7 +475,7 @@ impl Filesystem {
         file: FileId,
         _datasync: bool,
         durable: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         // Selective data journaling: overwrites of committed content are
         // journaled; fresh allocations write in place.
@@ -532,7 +537,7 @@ impl Filesystem {
         &mut self,
         tid: ThreadId,
         durable: bool,
-        out: &mut Vec<FsAction>,
+        out: &mut ActionSink<FsAction>,
     ) -> SyscallOutcome {
         let rt = self.ensure_running(out);
         // Page-scanning overhead proportional to the transaction size
@@ -566,7 +571,7 @@ impl Filesystem {
 
     /// Periodic OptFS flusher: upgrade transferred transactions to
     /// durable.
-    pub(crate) fn optfs_periodic_flush(&mut self, out: &mut Vec<FsAction>) {
+    pub(crate) fn optfs_periodic_flush(&mut self, out: &mut ActionSink<FsAction>) {
         let any_transferred = self.txns.values().any(|t| t.state == TxnState::Transferred);
         if any_transferred {
             self.request_txn_flush(out);

@@ -18,11 +18,12 @@
 //!   durability violations.
 //!
 //! ```
-//! use bio_fs::{Filesystem, FsConfig, FsMode, ThreadId};
+//! use bio_fs::{ActionSink, Filesystem, FsConfig, FsMode, ThreadId};
 //! use bio_sim::SimTime;
 //!
 //! let mut fs = Filesystem::new(FsConfig::new(FsMode::BarrierFs));
-//! let mut out = Vec::new();
+//! // The embedding simulator owns one reusable sink for all events.
+//! let mut out = ActionSink::new();
 //! let f = fs.create(ThreadId(0), &mut out);
 //! fs.write(ThreadId(0), f, 0, 4, SimTime::ZERO, &mut out);
 //! // fdatabarrier: the storage mfence — returns without blocking.
@@ -41,6 +42,7 @@ mod layout;
 mod recovery;
 mod txn;
 
+pub use bio_sim::ActionSink;
 pub use config::{FsConfig, FsMode};
 pub use file::{File, FileId, FileTable};
 pub use fs::{Filesystem, FsAction, FsEvent, FsStats, SyscallOutcome};

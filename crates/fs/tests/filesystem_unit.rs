@@ -2,12 +2,14 @@
 //! inspect the emitted actions without a device underneath.
 
 use bio_block::{ReqFlags, ReqId, ReqOp};
-use bio_fs::{Filesystem, FsAction, FsConfig, FsEvent, FsMode, SyscallOutcome, ThreadId};
+use bio_fs::{
+    ActionSink, Filesystem, FsAction, FsConfig, FsEvent, FsMode, SyscallOutcome, ThreadId,
+};
 use bio_sim::{SimDuration, SimTime};
 
 const T0: ThreadId = ThreadId(0);
 
-fn submits(actions: &[FsAction]) -> Vec<(ReqId, ReqFlags, bool)> {
+fn submits(actions: &ActionSink<FsAction>) -> Vec<(ReqId, ReqFlags, bool)> {
     actions
         .iter()
         .filter_map(|a| match a {
@@ -17,7 +19,7 @@ fn submits(actions: &[FsAction]) -> Vec<(ReqId, ReqFlags, bool)> {
         .collect()
 }
 
-fn wakes(actions: &[FsAction]) -> usize {
+fn wakes(actions: &ActionSink<FsAction>) -> usize {
     actions
         .iter()
         .filter(|a| matches!(a, FsAction::Wake(_)))
@@ -26,7 +28,7 @@ fn wakes(actions: &[FsAction]) -> usize {
 
 fn setup(mode: FsMode) -> (Filesystem, bio_fs::FileId) {
     let mut fs = Filesystem::new(FsConfig::new(mode));
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     let f = fs.create(T0, &mut out);
     (fs, f)
 }
@@ -34,7 +36,7 @@ fn setup(mode: FsMode) -> (Filesystem, bio_fs::FileId) {
 #[test]
 fn buffered_write_emits_nothing() {
     let (mut fs, f) = setup(FsMode::Ext4);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     let r = fs.write(T0, f, 0, 4, SimTime::ZERO, &mut out);
     assert_eq!(r, SyscallOutcome::Done);
     assert!(
@@ -46,7 +48,7 @@ fn buffered_write_emits_nothing() {
 #[test]
 fn fdatabarrier_submits_barrier_write_and_returns() {
     let (mut fs, f) = setup(FsMode::BarrierFs);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
     out.clear();
     let r = fs.fdatabarrier(T0, f, SimTime::ZERO, &mut out);
@@ -63,7 +65,7 @@ fn fdatabarrier_submits_barrier_write_and_returns() {
 fn fdatabarrier_with_nothing_dirty_forces_a_commit() {
     let (mut fs, f) = setup(FsMode::BarrierFs);
     // Drain the create's metadata first.
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     let r = fs.fsync(T0, f, SimTime::ZERO, &mut out);
     assert_eq!(r, SyscallOutcome::Blocked);
     // No dirty data now: fdatabarrier must still delimit an epoch (§4.2)
@@ -77,7 +79,7 @@ fn fdatabarrier_with_nothing_dirty_forces_a_commit() {
 #[test]
 fn ext4_jc_carries_flush_fua() {
     let (mut fs, f) = setup(FsMode::Ext4);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
     out.clear();
     // fsync: data first.
@@ -119,7 +121,7 @@ fn ext4_jc_carries_flush_fua() {
     assert_eq!(jd[0].1, ReqFlags::NONE, "legacy JD is a plain write");
     // JD transfer completes -> JC with FLUSH|FUA.
     let jd_rid = jd[0].0;
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.handle(
         FsEvent::ReqDone(jd_rid),
         SimTime::from_micros(300),
@@ -133,7 +135,7 @@ fn ext4_jc_carries_flush_fua() {
 #[test]
 fn barrierfs_commit_dispatches_jd_and_jc_back_to_back() {
     let (mut fs, f) = setup(FsMode::BarrierFs);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
     out.clear();
     assert_eq!(
@@ -148,7 +150,7 @@ fn barrierfs_commit_dispatches_jd_and_jc_back_to_back() {
         "D is ordered, not barrier"
     );
     // Run the commit thread.
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.handle(FsEvent::CommitRun, SimTime::from_micros(50), &mut out);
     let js = submits(&out);
     assert_eq!(js.len(), 2, "JD and JC dispatched together (no xfer wait)");
@@ -160,20 +162,20 @@ fn barrierfs_commit_dispatches_jd_and_jc_back_to_back() {
 #[test]
 fn barrierfs_overlapping_commits_grow_the_list() {
     let (mut fs, f) = setup(FsMode::BarrierFs);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
     out.clear();
     fs.fsync(T0, f, SimTime::ZERO, &mut out);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.handle(FsEvent::CommitRun, SimTime::from_micros(50), &mut out);
     assert_eq!(fs.committing_count(), 1);
     // A second transaction (a fresh file, so no page conflict with the
     // committing one) commits while the first is still in flight.
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     let g = fs.create(ThreadId(1), &mut out);
     fs.write(ThreadId(1), g, 0, 1, SimTime::from_micros(60), &mut out);
     fs.fsync(ThreadId(1), g, SimTime::from_micros(60), &mut out);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.handle(FsEvent::CommitRun, SimTime::from_micros(100), &mut out);
     assert_eq!(
         fs.committing_count(),
@@ -185,7 +187,7 @@ fn barrierfs_overlapping_commits_grow_the_list() {
 #[test]
 fn optfs_journals_overwrites_selectively() {
     let (mut fs, f) = setup(FsMode::OptFs);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     // First write: fresh allocation -> in-place.
     fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
     out.clear();
@@ -198,10 +200,10 @@ fn optfs_journals_overwrites_selectively() {
     assert_eq!(first.len(), 2, "fresh blocks write in place");
     // Complete them and the commit, then overwrite the same blocks.
     for (rid, _, _) in &first {
-        let mut o = Vec::new();
+        let mut o = ActionSink::new();
         fs.handle(FsEvent::ReqDone(*rid), SimTime::from_micros(100), &mut o);
     }
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 2, SimTime::from_millis(1), &mut out);
     out.clear();
     fs.fbarrier(T0, f, SimTime::from_millis(1), &mut out);
@@ -214,7 +216,7 @@ fn optfs_journals_overwrites_selectively() {
 #[test]
 fn unlink_dirties_metadata() {
     let (mut fs, f) = setup(FsMode::Ext4);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
     out.clear();
     fs.unlink(T0, f, &mut out);
@@ -226,7 +228,7 @@ fn unlink_dirties_metadata() {
 #[test]
 fn read_hits_page_cache_synchronously() {
     let (mut fs, f) = setup(FsMode::Ext4);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
     out.clear();
     let r = fs.read(T0, f, 0, 2, &mut out);
@@ -242,7 +244,7 @@ fn timer_tick_degenerates_fsync() {
     // Two writes within one tick: the second does not re-dirty metadata,
     // so after the first commit an fsync takes the flush-only path.
     let (mut fs, f) = setup(FsMode::Ext4);
-    let mut out = Vec::new();
+    let mut out = ActionSink::new();
     fs.write(T0, f, 0, 1, SimTime::from_micros(10), &mut out);
     // Drain: pretend the commit completed by checking metadata flags via
     // a second write in the same tick.

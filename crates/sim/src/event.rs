@@ -1,9 +1,24 @@
 //! The event queue and simulation executor scaffolding.
 //!
 //! A discrete-event simulation advances virtual time by repeatedly popping
-//! the earliest scheduled event. [`EventQueue`] is a priority queue ordered
-//! by `(time, sequence)` — the sequence number makes events scheduled for the
-//! same instant pop in FIFO order, which keeps simulations deterministic.
+//! the earliest scheduled event. [`EventQueue`] is a deterministic
+//! min-priority queue ordered by `(time, sequence)` — the sequence number
+//! makes events scheduled for the same instant pop in FIFO order, which
+//! keeps simulations deterministic.
+//!
+//! Internally the queue is a **two-tier bucketed calendar queue** rather
+//! than one big binary heap:
+//!
+//! * near-future events live in a ring of fixed-width time buckets; the
+//!   earliest bucket is sorted once and drained from the back (amortised
+//!   O(1) pops), with late arrivals into that bucket absorbed by a small
+//!   overflow heap so the sorted run is never re-sorted;
+//! * far-future events (periodic timers, retry backoffs) overflow into a
+//!   conventional heap and migrate into the ring as the clock advances.
+//!
+//! The `(time, seq)` contract is identical to the old heap-only
+//! implementation — property tests in `tests/event_queue_props.rs` check
+//! equivalence against a reference model on random schedules.
 //!
 //! ```
 //! use bio_sim::{EventQueue, SimDuration, SimTime};
@@ -20,12 +35,29 @@ use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
+/// Log2 of the bucket width in nanoseconds: 2^13 ns ≈ 8 µs, a few device
+/// DMA/CPU steps, so dense near-future traffic spreads across several
+/// buckets instead of piling into one.
+const BUCKET_SHIFT: u32 = 13;
+
+/// Ring size. The ring covers `NUM_BUCKETS << BUCKET_SHIFT` ≈ 67 ms of
+/// virtual time ahead of the clock (one or two measurement windows);
+/// anything later waits in the far heap.
+const NUM_BUCKETS: usize = 8192;
+
 /// An entry in the queue. Only `at` and `seq` participate in ordering; the
 /// payload is opaque.
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
     event: E,
+}
+
+impl<E> Scheduled<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
+    }
 }
 
 impl<E> PartialEq for Scheduled<E> {
@@ -43,7 +75,7 @@ impl<E> PartialOrd for Scheduled<E> {
 }
 
 impl<E> Ord for Scheduled<E> {
-    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* entry.
+    /// Reversed so a `BinaryHeap` (a max-heap) pops the *earliest* entry.
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -52,11 +84,42 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Bucket number of a timestamp.
+#[inline]
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_nanos() >> BUCKET_SHIFT
+}
+
+/// Sentinel for "no active bucket" (no real timestamp maps to it).
+const NO_ACTIVE: u64 = u64::MAX;
+
 /// A deterministic min-priority queue of timed events.
 ///
 /// Events at equal timestamps are delivered in insertion order.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Near-future ring: slot `b % NUM_BUCKETS` holds the events of bucket
+    /// `b` for `base <= b < base + NUM_BUCKETS`. Slots are unsorted; the
+    /// active slot is sorted descending at activation and drained from the
+    /// back.
+    ring: Vec<Vec<Scheduled<E>>>,
+    /// Events held in ring slots (including the active one).
+    ring_len: usize,
+    /// Bucket number containing the current clock; the ring window starts
+    /// here. Only advances when the clock does, so `push` (which requires
+    /// `at >= now`) can never land behind the window.
+    base: u64,
+    /// The bucket currently being drained (`NO_ACTIVE` when none). Its
+    /// slot vector is sorted descending by `(time, seq)` so the minimum
+    /// pops from the back in O(1).
+    active_bucket: u64,
+    active_slot: usize,
+    /// Late arrivals into the active bucket (e.g. `push_now` storms); kept
+    /// out of the sorted run so it never needs re-sorting. Merged with the
+    /// run at pop by key comparison.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Far-future events: bucket `>= base + NUM_BUCKETS`. Migrated into
+    /// the ring as `base` advances.
+    far: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
 }
@@ -69,9 +132,16 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    /// Allocation-free; the bucket ring materialises on first push.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: Vec::new(),
+            ring_len: 0,
+            base: 0,
+            active_bucket: NO_ACTIVE,
+            active_slot: 0,
+            overflow: BinaryHeap::new(),
+            far: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -97,7 +167,25 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        let entry = Scheduled { at, seq, event };
+        let b = bucket_of(at);
+        if b == self.active_bucket {
+            self.overflow.push(entry);
+        } else if b < self.base + NUM_BUCKETS as u64 {
+            self.ring_insert(b, entry);
+        } else {
+            self.far.push(entry);
+        }
+    }
+
+    #[inline]
+    fn ring_insert(&mut self, bucket: u64, entry: Scheduled<E>) {
+        if self.ring.is_empty() {
+            self.ring.resize_with(NUM_BUCKETS, Vec::new);
+        }
+        let slot = (bucket % NUM_BUCKETS as u64) as usize;
+        self.ring[slot].push(entry);
+        self.ring_len += 1;
     }
 
     /// Schedules `event` after a relative delay from the current time.
@@ -111,32 +199,224 @@ impl<E> EventQueue<E> {
         self.push(self.now, event);
     }
 
+    /// First non-empty ring slot at or after `base`, with its bucket
+    /// number. Requires `ring_len > 0`.
+    #[inline]
+    fn scan_slot(&self) -> (usize, u64) {
+        debug_assert!(self.ring_len > 0);
+        let mut b = self.base;
+        loop {
+            let slot = (b % NUM_BUCKETS as u64) as usize;
+            if !self.ring[slot].is_empty() {
+                return (slot, b);
+            }
+            b += 1;
+            debug_assert!(b < self.base + NUM_BUCKETS as u64, "ring_len drifted");
+        }
+    }
+
+    /// Advances the clock (and the ring window) to `at`, migrating newly
+    /// visible far-future events into the ring.
+    fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        let new_base = bucket_of(at);
+        if new_base > self.base {
+            self.base = new_base;
+            let horizon = self.base + NUM_BUCKETS as u64;
+            while self.far.peek().is_some_and(|e| bucket_of(e.at) < horizon) {
+                let e = self.far.pop().expect("peeked");
+                let b = bucket_of(e.at);
+                self.ring_insert(b, e);
+            }
+        }
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event queue went backwards");
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        loop {
+            // The active bucket is the earliest by construction; its
+            // minimum is the better of the sorted run's tail and the
+            // overflow top (the overflow is empty on the fast path).
+            if self.active_bucket != NO_ACTIVE {
+                if self.overflow.is_empty() {
+                    if let Some(entry) = self.ring[self.active_slot].pop() {
+                        self.ring_len -= 1;
+                        self.advance_to(entry.at);
+                        return Some((entry.at, entry.event));
+                    }
+                    self.active_bucket = NO_ACTIVE;
+                } else {
+                    let run_key = self.ring[self.active_slot].last().map(Scheduled::key);
+                    let ovf_key = self.overflow.peek().map(Scheduled::key);
+                    let entry = match (run_key, ovf_key) {
+                        (Some(r), Some(o)) if r < o => {
+                            self.ring_len -= 1;
+                            self.ring[self.active_slot].pop().expect("run tail")
+                        }
+                        _ => self.overflow.pop().expect("overflow is non-empty"),
+                    };
+                    self.advance_to(entry.at);
+                    return Some((entry.at, entry.event));
+                }
+            }
+            if self.ring_len > 0 {
+                self.activate_earliest_bucket();
+                continue;
+            }
+            if let Some(head) = self.far.peek() {
+                // Jump the window to the far head and pull everything
+                // newly visible into the ring. The head itself always
+                // migrates: far buckets are `> base`, so the jump raises
+                // `base` and the migration horizon covers the head.
+                let t = head.at;
+                self.advance_to(t);
+                debug_assert!(self.ring_len > 0, "far head must migrate into the ring");
+                continue;
+            }
+            return None;
+        }
+    }
+
+    /// Sorts the earliest non-empty ring bucket for back-pop draining and
+    /// marks it active. Requires `ring_len > 0`; does not move the clock.
+    fn activate_earliest_bucket(&mut self) {
+        let (slot, bucket) = self.scan_slot();
+        // Unstable sort: in-place, allocation-free; `(time, seq)` keys
+        // are unique so stability is irrelevant. Descending by key, so
+        // the earliest entry pops from the back.
+        self.ring[slot]
+            .sort_unstable_by_key(|e| !(((e.at.as_nanos() as u128) << 64) | e.seq as u128));
+        self.active_slot = slot;
+        self.active_bucket = bucket;
+    }
+
+    /// Key of the earliest pending event, if any (no clock movement).
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        if self.active_bucket != NO_ACTIVE {
+            let run = self.ring[self.active_slot].last().map(Scheduled::key);
+            let ovf = self.overflow.peek().map(Scheduled::key);
+            match (run, ovf) {
+                (Some(r), Some(o)) => return Some(r.min(o)),
+                (Some(r), None) => return Some(r),
+                (None, Some(o)) => return Some(o),
+                (None, None) => {}
+            }
+        }
+        if self.ring_len > 0 {
+            let (slot, _) = self.scan_slot();
+            return self.ring[slot].iter().map(Scheduled::key).min();
+        }
+        self.far.peek().map(Scheduled::key)
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// Pops the earliest event only if it is scheduled at or before
+    /// `deadline`. Activates the earliest bucket once and reads its tail
+    /// key, so the ring is traversed once (not a `peek_time` scan plus a
+    /// `pop` scan) — the fast path for bounded run loops.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let next = loop {
+            if self.active_bucket != NO_ACTIVE {
+                // O(1): the active run's tail and the overflow top.
+                let run = self.ring[self.active_slot].last().map(Scheduled::key);
+                let ovf = self.overflow.peek().map(Scheduled::key);
+                match (run, ovf) {
+                    (Some(r), Some(o)) => break if r < o { r } else { o },
+                    (Some(r), None) => break r,
+                    (None, Some(o)) => break o,
+                    (None, None) => self.active_bucket = NO_ACTIVE,
+                }
+            } else if self.ring_len > 0 {
+                self.activate_earliest_bucket();
+            } else {
+                match self.far.peek().map(Scheduled::key) {
+                    Some(k) => break k,
+                    None => return None,
+                }
+            }
+        };
+        if next.0 <= deadline {
+            self.pop()
+        } else {
+            // Deadline miss: roll back the speculative activation. The
+            // clock has not advanced, so the caller may legally push
+            // events *earlier* than this bucket before the next pop — a
+            // future bucket left active would shadow them (the pop fast
+            // path trusts the active bucket to be the earliest pending
+            // one). Overflow entries belong to the active bucket; return
+            // them to its ring slot so nothing is orphaned — every
+            // NO_ACTIVE code path ignores the overflow heap.
+            if self.active_bucket != NO_ACTIVE {
+                while let Some(e) = self.overflow.pop() {
+                    self.ring[self.active_slot].push(e);
+                    self.ring_len += 1;
+                }
+                self.active_bucket = NO_ACTIVE;
+            }
+            None
+        }
+    }
+
+    /// Drains every event scheduled at the earliest pending instant (up to
+    /// `max`) into `out`, in FIFO order, advancing the clock to that
+    /// instant. Returns the number of events drained.
+    ///
+    /// Draining one instant at a time keeps batch processing equivalent to
+    /// popping one event at a time, as long as batch consumers process the
+    /// drained events in order (events pushed *while* processing carry
+    /// later sequence numbers, so they sort after the whole batch anyway).
+    ///
+    /// ```
+    /// use bio_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// let t = SimTime::from_micros(3);
+    /// q.push(t, "a");
+    /// q.push(t, "b");
+    /// q.push(SimTime::from_micros(9), "later");
+    /// let mut out = Vec::new();
+    /// assert_eq!(q.pop_batch(&mut out, 16), 2);
+    /// assert_eq!(out, vec![(t, "a"), (t, "b")]);
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn pop_batch(&mut self, out: &mut Vec<(SimTime, E)>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let Some((t, ev)) = self.pop() else { return 0 };
+        out.push((t, ev));
+        let mut n = 1;
+        while n < max && self.peek_time() == Some(t) {
+            out.push(self.pop().expect("peeked"));
+            n += 1;
+        }
+        n
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len() + self.far.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+        self.ring_len = 0;
+        self.active_bucket = NO_ACTIVE;
+        self.overflow.clear();
+        self.far.clear();
     }
 }
 
@@ -144,7 +424,7 @@ impl<E> core::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
             .finish()
     }
 }
@@ -226,5 +506,134 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 5);
         assert_eq!(q.pop().unwrap().1, 8);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_ring_horizon() {
+        // Events far beyond the ring window must pop in order after the
+        // window migrates to them.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "far");
+        q.push(SimTime::from_nanos(10), "near");
+        q.push(SimTime::from_secs(5), "far2");
+        q.push(SimTime::from_millis(40), "mid");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "mid");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pushes_into_active_bucket_keep_order() {
+        // Pop from a bucket, then push events landing back into the still
+        // active bucket (the overflow path): order must hold.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        q.push(t, 1);
+        q.push(t + SimDuration::from_nanos(50), 4);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.push_now(2); // same instant as `now`, seq-ordered after 1
+        q.push(t + SimDuration::from_nanos(20), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+
+    #[test]
+    fn pop_batch_drains_one_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(2);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(SimTime::from_micros(3), 9);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 8), 2);
+        assert_eq!(out, vec![(t, 1), (t, 2)]);
+        out.clear();
+        assert_eq!(q.pop_batch(&mut out, 8), 1);
+        assert_eq!(out[0].1, 9);
+        assert_eq!(q.pop_batch(&mut out, 8), 0);
+    }
+
+    #[test]
+    fn pop_batch_respects_max() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 4), 4);
+        assert_eq!(
+            out.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_the_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(5), "in");
+        q.push(SimTime::from_micros(50), "out");
+        let d = SimTime::from_micros(10);
+        assert_eq!(q.pop_at_or_before(d).unwrap().1, "in");
+        assert_eq!(q.pop_at_or_before(d), None);
+        assert_eq!(q.len(), 1, "later event stays queued");
+    }
+
+    #[test]
+    fn deadline_miss_keeps_overflow_events() {
+        // A deadline miss must not orphan events that were sitting in the
+        // active bucket's overflow heap.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_nanos(200), "b"); // overflow of the active bucket
+        assert_eq!(q.pop_at_or_before(SimTime::from_nanos(150)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(200)));
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn deadline_miss_with_far_event_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(100), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(SimTime::from_secs(10), "far");
+        q.push(SimTime::from_nanos(200), "b"); // overflow of the active bucket
+        assert_eq!(q.pop_at_or_before(SimTime::from_nanos(150)), None);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn deadline_miss_does_not_shadow_later_pushes() {
+        // A miss must not leave a future bucket active: the clock has not
+        // moved, so pushes between the miss and the next pop may target
+        // earlier buckets and must still pop first.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(50), "late");
+        assert_eq!(q.pop_at_or_before(SimTime::from_millis(10)), None);
+        q.push(SimTime::from_millis(20), "early");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)));
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(4), 1);
+        q.push(SimTime::from_secs(60), 2);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_micros(4));
     }
 }

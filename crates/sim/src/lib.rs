@@ -6,7 +6,11 @@
 //! supplies the primitives they share:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond virtual time,
-//! * [`EventQueue`] — the deterministic `(time, seq)`-ordered event heap,
+//! * [`EventQueue`] — the deterministic `(time, seq)`-ordered event queue
+//!   (a two-tier bucketed calendar queue: near-future time-bucket ring +
+//!   far-future heap),
+//! * [`ActionSink`] — the reusable output buffer the layer state machines
+//!   write their actions into (allocation-free event routing),
 //! * [`SimRng`] — seeded xoshiro256++ randomness,
 //! * [`LatencyHistogram`] / [`LatencySummary`] — percentile statistics
 //!   (the paper's Table 1 shape),
@@ -38,11 +42,13 @@
 mod event;
 mod rng;
 mod series;
+mod sink;
 mod stats;
 mod time;
 
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use series::TimeSeries;
+pub use sink::ActionSink;
 pub use stats::{mean_f64, Counter, LatencyHistogram, LatencySummary};
 pub use time::{SimDuration, SimTime};

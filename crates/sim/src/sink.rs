@@ -1,0 +1,168 @@
+//! [`ActionSink`] — a reusable output buffer for Mealy-machine layers.
+//!
+//! Every layer of the stack (filesystem, block layer, device) is a state
+//! machine that turns inputs into a list of output actions. Handing each
+//! call a fresh `Vec` puts an allocation on the per-event hot path; an
+//! `ActionSink` is owned by the embedding simulator and reused across
+//! events, so steady-state routing performs no allocation at all.
+//!
+//! The protocol is simple: the caller passes `&mut ActionSink<A>` down,
+//! the layer `push`es actions, the caller drains them (in order) and the
+//! emptied buffer keeps its capacity for the next event.
+//!
+//! ```
+//! use bio_sim::ActionSink;
+//!
+//! let mut sink: ActionSink<u32> = ActionSink::new();
+//! sink.push(1);
+//! sink.push(2);
+//! let drained: Vec<u32> = sink.drain().collect();
+//! assert_eq!(drained, vec![1, 2]);
+//! assert!(sink.is_empty()); // capacity retained for the next event
+//! ```
+
+/// A reusable, order-preserving buffer of layer output actions.
+#[derive(Debug, Clone)]
+pub struct ActionSink<A> {
+    buf: Vec<A>,
+}
+
+impl<A> Default for ActionSink<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A> ActionSink<A> {
+    /// Creates an empty sink (no allocation until the first push).
+    pub const fn new() -> Self {
+        ActionSink { buf: Vec::new() }
+    }
+
+    /// Creates a sink with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ActionSink {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an action.
+    #[inline]
+    pub fn push(&mut self, action: A) {
+        self.buf.push(action);
+    }
+
+    /// Number of buffered actions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The buffered actions, in emission order.
+    #[inline]
+    pub fn as_slice(&self) -> &[A] {
+        &self.buf
+    }
+
+    /// Iterates the buffered actions without draining them.
+    pub fn iter(&self) -> std::slice::Iter<'_, A> {
+        self.buf.iter()
+    }
+
+    /// Removes and returns all buffered actions in order; capacity is
+    /// retained.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, A> {
+        self.buf.drain(..)
+    }
+
+    /// Drops the buffered actions, retaining capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Detaches the backing buffer (for borrow-splitting work loops);
+    /// return it with [`ActionSink::restore`] to keep the capacity.
+    pub fn take_buf(&mut self) -> Vec<A> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Re-attaches a buffer taken with [`ActionSink::take_buf`]. The
+    /// buffer is cleared; its capacity is what is being recycled. Actions
+    /// pushed into the sink since the `take_buf` are kept — a non-empty
+    /// sink only forgoes the capacity recycling (and trips a debug assert,
+    /// since the take/restore work loops are expected to fully drain
+    /// before anything pushes again).
+    pub fn restore(&mut self, mut buf: Vec<A>) {
+        debug_assert!(
+            self.buf.is_empty(),
+            "restore over pending actions: keep them, skip recycling"
+        );
+        buf.clear();
+        if self.buf.is_empty() && buf.capacity() > self.buf.capacity() {
+            self.buf = buf;
+        }
+    }
+}
+
+impl<A> Extend<A> for ActionSink<A> {
+    fn extend<T: IntoIterator<Item = A>>(&mut self, iter: T) {
+        self.buf.extend(iter);
+    }
+}
+
+impl<'a, A> IntoIterator for &'a ActionSink<A> {
+    type Item = &'a A;
+    type IntoIter = std::slice::Iter<'a, A>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drain_roundtrip_preserves_order_and_capacity() {
+        let mut s = ActionSink::with_capacity(8);
+        for i in 0..5 {
+            s.push(i);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3, 4]);
+        let out: Vec<i32> = s.drain().collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(s.is_empty());
+        assert!(s.buf.capacity() >= 8, "capacity survives draining");
+    }
+
+    #[test]
+    fn take_and_restore_recycles_the_buffer() {
+        let mut s: ActionSink<u8> = ActionSink::new();
+        s.push(1);
+        let mut buf = s.take_buf();
+        assert!(s.is_empty());
+        assert_eq!(buf, vec![1]);
+        buf.push(2);
+        let cap = buf.capacity();
+        s.restore(buf);
+        assert!(s.is_empty());
+        assert_eq!(s.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn extend_and_iter() {
+        let mut s: ActionSink<u8> = ActionSink::new();
+        s.extend([1, 2, 3]);
+        let doubled: Vec<u8> = (&s).into_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

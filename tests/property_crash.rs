@@ -67,7 +67,7 @@ fn crash_consistent(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// BarrierFS over a barrier-compliant device: every random workload,
     /// every random crash point, zero violations.
@@ -125,7 +125,7 @@ proptest! {
 
 // Determinism meta-property: the same seed replays the same simulation.
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
     #[test]
     fn simulation_is_deterministic(
         ops in prop::collection::vec(arb_op(), 10..60),
