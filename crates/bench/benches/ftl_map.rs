@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the FTL translation map — the per-block
+//! lookup/insert path every destaged page goes through. Covers append
+//! churn over a hot working set (map insert + old-version invalidation +
+//! GC), overwrite-heavy steady state, and read lookups.
+
+use bio_flash::{BlockTag, Ftl, Lba};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Sequential fill then round-robin overwrite: the log-structured steady
+/// state. `ops` appends over a `working_set`-LBA span on a device with
+/// `segments x pages` geometry (GC runs once the free list dips under the
+/// watermark).
+fn append_churn(segments: usize, pages: usize, working_set: u64, ops: u64) -> u64 {
+    let mut f = Ftl::new(segments, pages, 0.25);
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let lba = Lba(i % working_set);
+        let (loc, _) = f.append(lba, BlockTag(i + 1));
+        acc = acc.wrapping_add(loc.slot as u64);
+    }
+    acc
+}
+
+/// Pure lookup over a populated map: the read-path hit check.
+fn lookup_hits(working_set: u64, ops: u64) -> u64 {
+    let mut f = Ftl::new(64, 512, 0.1);
+    for i in 0..working_set {
+        f.append(Lba(i), BlockTag(i + 1));
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        // Stride walk so the access pattern is not trivially cached.
+        let lba = Lba((i * 7) % working_set);
+        if let Some(loc) = f.lookup(lba) {
+            acc = acc.wrapping_add(loc.segment as u64);
+        }
+        acc = acc.wrapping_add(f.tag_at(lba).map_or(0, |t| t.0));
+    }
+    acc
+}
+
+fn bench_ftl_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl_map");
+    g.bench_function("append_churn_4k_lbas_100k_ops", |b| {
+        b.iter(|| append_churn(64, 256, black_box(4_096), 100_000))
+    });
+    g.bench_function("append_churn_overwrite_hot_100k_ops", |b| {
+        b.iter(|| append_churn(64, 256, black_box(512), 100_000))
+    });
+    g.bench_function("lookup_hits_16k_lbas_200k_ops", |b| {
+        b.iter(|| lookup_hits(black_box(16_384), 200_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ftl_map);
+criterion_main!(benches);

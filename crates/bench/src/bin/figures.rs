@@ -13,60 +13,26 @@
 //! summary (`[grid] cells=.. jobs=.. elapsed_ms=..`) goes to stderr to
 //! keep stdout clean for that diff.
 
-use bio_bench::experiments;
+use bio_bench::{cli, experiments};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut wanted: Vec<String> = Vec::new();
-    let mut scale: u64 = 1;
-    let mut crash_seeds: u64 = 20;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--all" => wanted.push("all".into()),
-            "--jobs" => {
-                i += 1;
-                let jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0);
-                bio_bench::set_default_jobs(jobs);
-            }
-            "--fig" => {
-                i += 1;
-                wanted.push(format!(
-                    "fig{}",
-                    args.get(i).map(String::as_str).unwrap_or("")
-                ));
-            }
-            "--table" => {
-                i += 1;
-                wanted.push(format!(
-                    "table{}",
-                    args.get(i).map(String::as_str).unwrap_or("")
-                ));
-            }
-            "--scale" => {
-                i += 1;
-                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
-            }
-            "--seeds" => {
-                i += 1;
-                crash_seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(20);
-            }
-            "--help" | "-h" => {
-                print_help();
-                return;
-            }
-            other => {
-                eprintln!("unknown argument: {other}");
-                print_help();
-                std::process::exit(2);
-            }
+    let opts = match cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            print_help();
+            std::process::exit(2);
         }
-        i += 1;
-    }
-    if wanted.is_empty() {
+    };
+    if opts.help || opts.wanted.is_empty() {
         print_help();
         return;
     }
+    if let Some(jobs) = opts.jobs {
+        bio_bench::set_default_jobs(jobs);
+    }
+    let (wanted, scale, crash_seeds) = (opts.wanted, opts.scale, opts.crash_seeds);
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
     let started = std::time::Instant::now();
@@ -121,6 +87,6 @@ fn print_help() {
         "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N] [--jobs J]\n\
          figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, engines, crash; table: 1\n\
          --scale multiplies run length (1 = quick); --jobs bounds the\n\
-         experiment-grid worker pool (1 = serial, default: all cores)"
+         experiment-grid worker pool (>= 1; 1 = serial, default: all cores)"
     );
 }

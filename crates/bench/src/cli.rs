@@ -1,0 +1,164 @@
+//! Argument parsing for the `figures` binary, split out so the CLI
+//! contract (notably `--jobs` validation) is unit-testable without
+//! spawning the binary.
+
+/// Parsed `figures` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Figure/table selectors: `"all"`, `"fig9"`, `"table1"`, ...
+    pub wanted: Vec<String>,
+    /// Run-length multiplier (>= 1).
+    pub scale: u64,
+    /// Seeds for the crash ablation.
+    pub crash_seeds: u64,
+    /// Worker-pool override; `None` = auto (all cores).
+    pub jobs: Option<usize>,
+    /// `--help` was requested.
+    pub help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            wanted: Vec::new(),
+            scale: 1,
+            crash_seeds: 20,
+            jobs: None,
+            help: false,
+        }
+    }
+}
+
+/// Parses `figures` arguments (everything after the binary name).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags, missing values, and
+/// invalid values — in particular `--jobs 0`: a zero-worker pool is
+/// meaningless (`std::thread::scope` with no workers would simply hang the
+/// grid's consumers), so it is rejected rather than silently reinterpreted.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => opts.wanted.push("all".into()),
+            "--jobs" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--jobs requires a worker count".to_string())?;
+                let jobs: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got '{raw}'"))?;
+                if jobs == 0 {
+                    return Err(
+                        "--jobs must be >= 1 (use --jobs 1 for a serial run; omit --jobs \
+                         to use all cores)"
+                            .to_string(),
+                    );
+                }
+                opts.jobs = Some(jobs);
+            }
+            "--fig" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or_else(|| "--fig requires a figure number".to_string())?;
+                opts.wanted.push(format!("fig{n}"));
+            }
+            "--table" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .ok_or_else(|| "--table requires a table number".to_string())?;
+                opts.wanted.push(format!("table{n}"));
+            }
+            "--scale" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--scale requires a multiplier".to_string())?;
+                let scale: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("--scale expects a positive integer, got '{raw}'"))?;
+                opts.scale = scale.max(1);
+            }
+            "--seeds" => {
+                i += 1;
+                let raw = args
+                    .get(i)
+                    .ok_or_else(|| "--seeds requires a count".to_string())?;
+                opts.crash_seeds = raw
+                    .parse()
+                    .map_err(|_| format!("--seeds expects an integer, got '{raw}'"))?;
+            }
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_with_no_args() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o, CliOptions::default());
+    }
+
+    #[test]
+    fn jobs_zero_is_rejected_with_clear_message() {
+        let err = parse_args(&args(&["--all", "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs must be >= 1"), "unhelpful: {err}");
+        assert!(err.contains("serial"), "should point at --jobs 1: {err}");
+    }
+
+    #[test]
+    fn jobs_requires_a_numeric_value() {
+        let err = parse_args(&args(&["--jobs"])).unwrap_err();
+        assert!(err.contains("--jobs requires"), "{err}");
+        let err = parse_args(&args(&["--jobs", "many"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn jobs_one_and_n_are_accepted() {
+        assert_eq!(parse_args(&args(&["--jobs", "1"])).unwrap().jobs, Some(1));
+        assert_eq!(parse_args(&args(&["--jobs", "8"])).unwrap().jobs, Some(8));
+        assert_eq!(parse_args(&args(&["--all"])).unwrap().jobs, None);
+    }
+
+    #[test]
+    fn selectors_accumulate() {
+        let o = parse_args(&args(&["--fig", "9", "--fig", "11", "--table", "1"])).unwrap();
+        assert_eq!(o.wanted, vec!["fig9", "fig11", "table1"]);
+    }
+
+    #[test]
+    fn fig_and_table_require_values() {
+        assert!(parse_args(&args(&["--fig"])).is_err());
+        assert!(parse_args(&args(&["--table"])).is_err());
+    }
+
+    #[test]
+    fn scale_clamps_to_one_and_seeds_parse() {
+        let o = parse_args(&args(&["--scale", "0", "--seeds", "7"])).unwrap();
+        assert_eq!(o.scale, 1);
+        assert_eq!(o.crash_seeds, 7);
+        assert!(parse_args(&args(&["--scale", "x"])).is_err());
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+    }
+}

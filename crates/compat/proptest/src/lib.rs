@@ -48,7 +48,8 @@ pub mod strategy {
 
     // Tuple strategies, like the real crate's: each component generates in
     // order, so `(0u64..10, 0u8..4)` yields pairs. Used by the event-queue
-    // property tests for `(time, payload)` schedules.
+    // property tests for `(time, payload)` schedules and the dense-index
+    // equivalence suites for `(op, lba, selector, flag)` workloads.
     macro_rules! tuple_strategy {
         ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
             impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -59,7 +60,33 @@ pub mod strategy {
             }
         )+};
     }
-    tuple_strategy!((A.0, B.1), (A.0, B.1, C.2));
+    tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+    );
+}
+
+pub mod bool {
+    //! Boolean strategies, mirroring `proptest::bool`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `true`/`false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The canonical boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
 }
 
 pub mod collection {
@@ -162,6 +189,7 @@ pub mod prelude {
 
     /// Namespace mirroring `proptest::prelude::prop`.
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
     }
 }

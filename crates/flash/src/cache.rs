@@ -12,8 +12,34 @@
 //! let a later epoch's content replace an earlier epoch's while other
 //! earlier-epoch blocks are still volatile, silently breaking the barrier
 //! guarantee.
+//!
+//! ## Storage layout and invariants
+//!
+//! The cache is a dense slab, not a map pair: entries live in a
+//! [`SeqTable`] keyed by transfer sequence (so iteration *is* transfer
+//! order and the per-block paths are index loads, not hash/tree probes),
+//! and the versions of one LBA form an intrusive doubly-linked chain
+//! through the slab (`prev_same_lba`/`next_same_lba`, 0 = none — sequence
+//! numbers start at 1). Two dense LBA-indexed side tables complete the
+//! structure:
+//!
+//! * `latest[lba]` — the read-hit index: the newest *inserted* version,
+//!   cleared (not rolled back) when that exact version completes;
+//! * `chain_head[lba]` — the newest *resident* version, rolled back to the
+//!   next-older resident version on completion. An entry with
+//!   `prev_same_lba == 0` is therefore the oldest resident version of its
+//!   LBA, which is exactly the per-LBA eligibility test the in-place
+//!   destage engines need.
+//!
+//! Invariants (property-tested against the original map-based
+//! implementation in `tests/dense_equivalence.rs`):
+//!
+//! * epochs are non-decreasing in sequence order, so the minimum pending
+//!   epoch is the epoch of the oldest resident entry;
+//! * `latest`/`chain_head` only ever point at resident entries;
+//! * `dirty` counts exactly the resident entries in [`EntryState::Dirty`].
 
-use std::collections::{BTreeMap, HashMap};
+use bio_sim::{PagedMap, SeqTable};
 
 use crate::types::{BlockTag, Lba};
 
@@ -39,13 +65,55 @@ pub struct CacheEntry {
     pub state: EntryState,
 }
 
+/// Why a cache operation was rejected. Sequence numbers arrive from
+/// outside the cache (device completion events), so unknown or replayed
+/// sequences are reportable errors, not panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheError {
+    /// The sequence is not resident (never inserted, or already
+    /// completed — e.g. a duplicate completion).
+    UnknownSeq(u64),
+    /// The entry is already being destaged (duplicate `mark_destaging`).
+    AlreadyDestaging(u64),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::UnknownSeq(s) => write!(f, "unknown cache entry seq {s}"),
+            CacheError::AlreadyDestaging(s) => write!(f, "cache entry seq {s} already destaging"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Slab slot: the entry plus its intrusive same-LBA version chain.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: CacheEntry,
+    /// Next-older resident version of the same LBA (0 = none: this is the
+    /// oldest resident version).
+    prev_same_lba: u64,
+    /// Next-newer resident version of the same LBA (0 = none).
+    next_same_lba: u64,
+}
+
+/// Sentinel for "no sequence" in the dense LBA side tables (real
+/// sequences start at 1).
+const NO_SEQ: u64 = 0;
+
 /// Transfer-ordered writeback cache with epoch accounting.
 #[derive(Debug, Clone, Default)]
 pub struct WritebackCache {
     /// Entries in transfer order, keyed by transfer sequence number.
-    entries: BTreeMap<u64, CacheEntry>,
-    /// Latest (highest-seq) entry per LBA, for read hits and coalescing.
-    latest: HashMap<Lba, u64>,
+    slots: SeqTable<Slot>,
+    /// Read-hit index: newest inserted version per LBA (dense, LBA-indexed).
+    latest: PagedMap<u64>,
+    /// Newest *resident* version per LBA (heads the intrusive chain).
+    chain_head: PagedMap<u64>,
+    /// Resident entries still in [`EntryState::Dirty`].
+    dirty: usize,
     capacity: usize,
     current_epoch: u64,
     next_seq: u64,
@@ -55,8 +123,10 @@ impl WritebackCache {
     /// Creates a cache holding at most `capacity` block versions.
     pub fn new(capacity: usize) -> WritebackCache {
         WritebackCache {
-            entries: BTreeMap::new(),
-            latest: HashMap::new(),
+            slots: SeqTable::new(),
+            latest: PagedMap::new(),
+            chain_head: PagedMap::new(),
+            dirty: 0,
             capacity: capacity.max(1),
             current_epoch: 0,
             next_seq: 1,
@@ -65,22 +135,36 @@ impl WritebackCache {
 
     /// Number of resident entries (dirty + destaging).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.slots.len()
     }
 
     /// True when the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.slots.is_empty()
     }
 
     /// True when at capacity; inserts must wait for a destage.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.slots.len() >= self.capacity
     }
 
     /// The epoch new writes are tagged with.
     pub fn current_epoch(&self) -> u64 {
         self.current_epoch
+    }
+
+    #[inline]
+    fn side(table: &PagedMap<u64>, lba: Lba) -> u64 {
+        table.get(lba.0).unwrap_or(NO_SEQ)
+    }
+
+    #[inline]
+    fn set_side(table: &mut PagedMap<u64>, lba: Lba, seq: u64) {
+        if seq == NO_SEQ {
+            table.remove(lba.0);
+        } else {
+            table.insert(lba.0, seq);
+        }
     }
 
     /// Inserts one transferred block. If `barrier` is set the epoch counter
@@ -91,17 +175,19 @@ impl WritebackCache {
     /// anything else creates a new version. Returns the entry's transfer
     /// sequence number.
     pub fn insert(&mut self, lba: Lba, tag: BlockTag, barrier: bool) -> u64 {
-        let seq = if let Some(&prev_seq) = self.latest.get(&lba) {
-            let prev = self.entries[&prev_seq];
-            if prev.state == EntryState::Dirty && prev.epoch == self.current_epoch {
+        let prev_seq = Self::side(&self.latest, lba);
+        let seq = match self.slots.get_mut(prev_seq) {
+            Some(prev)
+                if prev.entry.state == EntryState::Dirty
+                    && prev.entry.epoch == self.current_epoch =>
+            {
                 // Safe coalesce: same epoch, program not yet started.
-                self.entries.get_mut(&prev_seq).expect("entry exists").tag = tag;
+                prev.entry.tag = tag;
                 prev_seq
-            } else {
-                self.push_new(lba, tag)
             }
-        } else {
-            self.push_new(lba, tag)
+            // No previous version, or one that must stay a separate
+            // version (cross-epoch, or already destaging).
+            _ => self.push_new(lba, tag),
         };
         if barrier {
             self.current_epoch += 1;
@@ -112,47 +198,58 @@ impl WritebackCache {
     fn push_new(&mut self, lba: Lba, tag: BlockTag) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.insert(
+        let prev = Self::side(&self.chain_head, lba);
+        self.slots.insert(
             seq,
-            CacheEntry {
-                lba,
-                tag,
-                epoch: self.current_epoch,
-                state: EntryState::Dirty,
+            Slot {
+                entry: CacheEntry {
+                    lba,
+                    tag,
+                    epoch: self.current_epoch,
+                    state: EntryState::Dirty,
+                },
+                prev_same_lba: prev,
+                next_same_lba: NO_SEQ,
             },
         );
-        self.latest.insert(lba, seq);
+        if let Some(p) = self.slots.get_mut(prev) {
+            p.next_same_lba = seq;
+        }
+        Self::set_side(&mut self.chain_head, lba, seq);
+        Self::set_side(&mut self.latest, lba, seq);
+        self.dirty += 1;
         seq
     }
 
     /// Latest cached content for `lba` (read hit), if resident.
     pub fn lookup(&self, lba: Lba) -> Option<BlockTag> {
-        self.latest.get(&lba).map(|seq| self.entries[seq].tag)
+        self.slots
+            .get(Self::side(&self.latest, lba))
+            .map(|s| s.entry.tag)
     }
 
     /// The entry at `seq`, if resident.
     pub fn entry(&self, seq: u64) -> Option<&CacheEntry> {
-        self.entries.get(&seq)
+        self.slots.get(seq).map(|s| &s.entry)
     }
 
     /// Count of entries not yet being destaged.
     pub fn dirty_count(&self) -> usize {
-        self.entries
-            .values()
-            .filter(|e| e.state == EntryState::Dirty)
-            .count()
+        self.dirty
     }
 
     /// The minimum epoch among resident entries, i.e. the epoch that must
-    /// finish persisting first under in-order writeback.
+    /// finish persisting first under in-order writeback. Epochs are
+    /// non-decreasing in transfer order, so this is the oldest resident
+    /// entry's epoch.
     pub fn min_pending_epoch(&self) -> Option<u64> {
-        self.entries.values().map(|e| e.epoch).min()
+        self.slots.iter().next().map(|(_, s)| s.entry.epoch)
     }
 
     /// Sequence numbers of every resident entry, in transfer order: the
     /// snapshot a flush command must drain.
     pub fn pending_seqs(&self) -> Vec<u64> {
-        self.entries.keys().copied().collect()
+        self.slots.iter().map(|(seq, _)| seq).collect()
     }
 
     /// Destage candidates in transfer order.
@@ -168,18 +265,19 @@ impl WritebackCache {
     /// holding the newer one back would reorder the append log and break
     /// prefix recovery.
     pub fn destage_candidates(&self, max_epoch: Option<u64>, lba_ordered: bool) -> Vec<u64> {
-        let mut seen: std::collections::HashSet<Lba> = std::collections::HashSet::new();
         let mut out = Vec::new();
-        for (&seq, e) in &self.entries {
-            let first_for_lba = seen.insert(e.lba);
-            if lba_ordered && !first_for_lba {
+        for (seq, slot) in self.slots.iter() {
+            // The intrusive chain makes the per-LBA test O(1): an entry is
+            // the first resident version of its LBA iff it has no older
+            // resident predecessor.
+            if lba_ordered && slot.prev_same_lba != NO_SEQ {
                 continue;
             }
-            if e.state != EntryState::Dirty {
+            if slot.entry.state != EntryState::Dirty {
                 continue;
             }
             if let Some(bound) = max_epoch {
-                if e.epoch > bound {
+                if slot.entry.epoch > bound {
                     continue;
                 }
             }
@@ -190,31 +288,55 @@ impl WritebackCache {
 
     /// Marks an entry as having a flash program in flight.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seq` is absent or already destaging.
-    pub fn mark_destaging(&mut self, seq: u64) {
-        let e = self.entries.get_mut(&seq).expect("unknown cache entry");
-        assert_eq!(e.state, EntryState::Dirty, "entry already destaging");
-        e.state = EntryState::Destaging;
+    /// [`CacheError::UnknownSeq`] if `seq` is not resident,
+    /// [`CacheError::AlreadyDestaging`] if it already has a program in
+    /// flight.
+    pub fn mark_destaging(&mut self, seq: u64) -> Result<(), CacheError> {
+        let slot = self.slots.get_mut(seq).ok_or(CacheError::UnknownSeq(seq))?;
+        if slot.entry.state != EntryState::Dirty {
+            return Err(CacheError::AlreadyDestaging(seq));
+        }
+        slot.entry.state = EntryState::Destaging;
+        self.dirty -= 1;
+        Ok(())
     }
 
     /// Removes a fully programmed entry, freeing its slot. Returns it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seq` is absent.
-    pub fn complete(&mut self, seq: u64) -> CacheEntry {
-        let e = self.entries.remove(&seq).expect("unknown cache entry");
-        if self.latest.get(&e.lba) == Some(&seq) {
-            self.latest.remove(&e.lba);
+    /// [`CacheError::UnknownSeq`] if `seq` is not resident — notably a
+    /// *duplicate* completion of an already-removed entry, which a caller
+    /// replaying device events can drive externally.
+    pub fn complete(&mut self, seq: u64) -> Result<CacheEntry, CacheError> {
+        let slot = self.slots.remove(seq).ok_or(CacheError::UnknownSeq(seq))?;
+        if slot.entry.state == EntryState::Dirty {
+            self.dirty -= 1;
         }
-        e
+        // Unlink from the same-LBA version chain.
+        if let Some(p) = self.slots.get_mut(slot.prev_same_lba) {
+            p.next_same_lba = slot.next_same_lba;
+        }
+        if let Some(n) = self.slots.get_mut(slot.next_same_lba) {
+            n.prev_same_lba = slot.prev_same_lba;
+        }
+        if Self::side(&self.chain_head, slot.entry.lba) == seq {
+            // Roll the resident head back to the next-older version.
+            Self::set_side(&mut self.chain_head, slot.entry.lba, slot.prev_same_lba);
+        }
+        if Self::side(&self.latest, slot.entry.lba) == seq {
+            // Read hits never fall back to an older version: the newest
+            // content left the cache, so reads must go to flash.
+            Self::set_side(&mut self.latest, slot.entry.lba, NO_SEQ);
+        }
+        Ok(slot.entry)
     }
 
     /// All resident entries in transfer order (used for PLP crash images).
     pub fn entries_in_order(&self) -> impl Iterator<Item = (u64, &CacheEntry)> {
-        self.entries.iter().map(|(&s, e)| (s, e))
+        self.slots.iter().map(|(seq, s)| (seq, &s.entry))
     }
 }
 
@@ -271,7 +393,7 @@ mod tests {
     fn destaging_entry_does_not_coalesce() {
         let mut c = WritebackCache::new(8);
         let s1 = c.insert(Lba(1), BlockTag(1), false);
-        c.mark_destaging(s1);
+        c.mark_destaging(s1).unwrap();
         let s2 = c.insert(Lba(1), BlockTag(2), false);
         assert_ne!(s1, s2);
         assert_eq!(c.len(), 2);
@@ -286,8 +408,8 @@ mod tests {
         let cands = c.destage_candidates(None, true);
         assert_eq!(cands, vec![s1, s3], "second version of lba 1 must wait");
         // After the first version completes, the second becomes eligible.
-        c.mark_destaging(s1);
-        c.complete(s1);
+        c.mark_destaging(s1).unwrap();
+        c.complete(s1).unwrap();
         assert_eq!(c.destage_candidates(None, true), vec![s2, s3]);
     }
 
@@ -305,8 +427,8 @@ mod tests {
         let mut c = WritebackCache::new(1);
         let s1 = c.insert(Lba(1), BlockTag(1), false);
         assert!(c.is_full());
-        c.mark_destaging(s1);
-        let e = c.complete(s1);
+        c.mark_destaging(s1).unwrap();
+        let e = c.complete(s1).unwrap();
         assert_eq!(e.tag, BlockTag(1));
         assert!(c.is_empty());
         assert_eq!(c.lookup(Lba(1)), None);
@@ -317,8 +439,8 @@ mod tests {
         let mut c = WritebackCache::new(8);
         let s1 = c.insert(Lba(1), BlockTag(1), true);
         let _s2 = c.insert(Lba(1), BlockTag(2), false);
-        c.mark_destaging(s1);
-        c.complete(s1);
+        c.mark_destaging(s1).unwrap();
+        c.complete(s1).unwrap();
         assert_eq!(c.lookup(Lba(1)), Some(BlockTag(2)));
     }
 
@@ -333,8 +455,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown cache entry")]
-    fn complete_unknown_panics() {
-        WritebackCache::new(4).complete(99);
+    fn complete_unknown_is_reported_not_panicked() {
+        let mut c = WritebackCache::new(4);
+        assert_eq!(c.complete(99), Err(CacheError::UnknownSeq(99)));
+        // A real entry completed twice: the duplicate is detected.
+        let s = c.insert(Lba(1), BlockTag(1), false);
+        c.mark_destaging(s).unwrap();
+        assert!(c.complete(s).is_ok());
+        assert_eq!(c.complete(s), Err(CacheError::UnknownSeq(s)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mark_destaging_errors_are_typed() {
+        let mut c = WritebackCache::new(4);
+        assert_eq!(c.mark_destaging(7), Err(CacheError::UnknownSeq(7)));
+        let s = c.insert(Lba(1), BlockTag(1), false);
+        c.mark_destaging(s).unwrap();
+        assert_eq!(c.mark_destaging(s), Err(CacheError::AlreadyDestaging(s)));
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn newer_version_completion_rolls_chain_head_back() {
+        // LFS-mode devices can complete a newer version before an older
+        // one; the older version must then become the per-LBA head again
+        // and a *new* insert must chain behind it.
+        let mut c = WritebackCache::new(8);
+        let s1 = c.insert(Lba(1), BlockTag(1), true); // epoch 0
+        let s2 = c.insert(Lba(1), BlockTag(2), true); // epoch 1
+        c.mark_destaging(s2).unwrap();
+        c.complete(s2).unwrap();
+        // Newest content left the cache: reads miss.
+        assert_eq!(c.lookup(Lba(1)), None);
+        let s3 = c.insert(Lba(1), BlockTag(3), false); // epoch 2
+                                                       // s1 is still the oldest resident version, so with per-LBA
+                                                       // ordering s3 must wait behind it.
+        assert_eq!(c.destage_candidates(None, true), vec![s1]);
+        assert_eq!(c.lookup(Lba(1)), Some(BlockTag(3)));
+        c.mark_destaging(s1).unwrap();
+        c.complete(s1).unwrap();
+        assert_eq!(c.destage_candidates(None, true), vec![s3]);
     }
 }

@@ -23,7 +23,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use bio_sim::{SimDuration, SimRng, SimTime, TimeSeries};
+use bio_sim::{SeqTable, SimDuration, SimRng, SimTime, TimeSeries};
 
 use crate::cache::WritebackCache;
 use crate::chip::ChipArray;
@@ -174,7 +174,10 @@ pub struct Device {
     /// inserts must happen in transfer order or epoch tagging would break,
     /// so one blocked insert blocks everything behind it.
     pending_inserts: VecDeque<CmdId>,
-    destage_info: HashMap<u64, DestageInfo>,
+    /// Keyed by cache destage sequence (bump-allocated, so a dense
+    /// sliding-window table; a replayed `ProgramDone` for an already
+    /// completed sequence reads as absent rather than aliasing).
+    destage_info: SeqTable<DestageInfo>,
     in_flight_programs: usize,
     trans: TransState,
 
@@ -207,7 +210,7 @@ impl Device {
             active: HashMap::new(),
             drains: Vec::new(),
             pending_inserts: VecDeque::new(),
-            destage_info: HashMap::new(),
+            destage_info: SeqTable::new(),
             in_flight_programs: 0,
             trans: TransState::default(),
             admit_times: HashMap::new(),
@@ -299,7 +302,12 @@ impl Device {
                 self.pump(now, out);
             }
             DevEvent::PreflushDone { id } => {
-                self.active.get_mut(&id).expect("active").stage = Stage::WaitLink;
+                // A PreflushDone for a command no longer active (replayed
+                // event) is dropped rather than re-queued for the link.
+                let Some(active) = self.active.get_mut(&id) else {
+                    return;
+                };
+                active.stage = Stage::WaitLink;
                 self.ready_for_link.push_back(id);
                 self.pump(now, out);
             }
@@ -603,7 +611,13 @@ impl Device {
             let Some(chip) = self.chips.find_idle(now) else {
                 break;
             };
-            self.cache.mark_destaging(seq);
+            // Candidates come from the cache snapshot above with no
+            // intervening completions, so marking cannot fail.
+            let marked = self.cache.mark_destaging(seq);
+            debug_assert!(marked.is_ok(), "destage candidate vanished: {marked:?}");
+            if marked.is_err() {
+                continue;
+            }
             let entry = *self.cache.entry(seq).expect("marked entry");
             self.ftl.append(entry.lba, entry.tag);
             let group = self.trans.open.as_ref().map(|(g, _)| *g);
@@ -631,12 +645,15 @@ impl Device {
     }
 
     fn on_program_done(&mut self, seq: u64, _chip: usize, now: SimTime, out: &mut Vec<DevAction>) {
+        // The destage record is the ground truth for in-flight programs: a
+        // duplicate or forged ProgramDone has no record and is dropped
+        // before any accounting changes.
+        let Some(info) = self.destage_info.remove(seq) else {
+            return;
+        };
         self.in_flight_programs -= 1;
-        let _entry = self.cache.complete(seq);
-        let info = self
-            .destage_info
-            .remove(&seq)
-            .expect("program for unknown destage");
+        let completed = self.cache.complete(seq);
+        debug_assert!(completed.is_ok(), "destage record without cache entry");
         self.log.mark_done(info.append_seq);
 
         // Transactional group accounting.
@@ -653,8 +670,6 @@ impl Device {
         }
         let committed = &self.trans.committed;
         self.log.fold(|g| committed.contains(&g));
-
-        let _ = info;
 
         // Drain accounting (flushes, preflushes, FUA writes).
         let mut finished: Vec<(CmdId, DrainKind)> = Vec::new();
@@ -697,11 +712,16 @@ impl Device {
     }
 
     fn complete_cmd(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
-        let active = self.active.remove(&id).expect("completing unknown command");
+        // A duplicate Finish event (replayed completion) finds no active
+        // command; drop it without touching queue slots or stats.
+        let Some(active) = self.active.remove(&id) else {
+            return;
+        };
         if matches!(active.cmd.kind, CmdKind::Flush) {
             self.stats.flush_cmds += 1;
         }
-        self.queue.complete(id);
+        let released = self.queue.complete(id);
+        debug_assert!(released, "active command missing from queue");
         self.sample_qd(now);
         out.push(DevAction::Complete(Completion { id, at: now }));
     }

@@ -43,7 +43,7 @@ mod queue;
 mod recovery;
 mod types;
 
-pub use cache::{CacheEntry, EntryState, WritebackCache};
+pub use cache::{CacheEntry, CacheError, EntryState, WritebackCache};
 pub use chip::ChipArray;
 pub use device::{DevAction, DevEvent, Device, DeviceStats};
 pub use ftl::{Ftl, FtlStats, GcRun, PhysLoc};

@@ -12,8 +12,10 @@
 //!
 //! Completion (not just service start) is what releases a fence, mirroring
 //! the SCSI ordered-tag definition.
-
-use std::collections::HashMap;
+//!
+//! The in-service set is a small inline slab (a `Vec` sized at the queue
+//! depth), not a map: queue depths are 8–64, so linear scans beat hashing
+//! and the set never reallocates after construction.
 
 use crate::types::{CmdId, Command, Priority};
 
@@ -21,8 +23,9 @@ use crate::types::{CmdId, Command, Priority};
 #[derive(Debug, Default)]
 pub struct CommandQueue {
     waiting: Vec<(u64, Command)>,
-    /// arrival-seq -> priority of commands picked but not yet completed.
-    in_service: HashMap<u64, (CmdId, Priority)>,
+    /// `(arrival-seq, id, priority)` of commands picked but not yet
+    /// completed; a small slab bounded by the queue depth.
+    in_service: Vec<(u64, CmdId, Priority)>,
     depth: usize,
     next_arrival: u64,
     /// Peak occupancy, for reporting.
@@ -33,10 +36,11 @@ impl CommandQueue {
     /// Creates a queue admitting at most `depth` commands (waiting plus
     /// in-service), matching the device's advertised queue depth.
     pub fn new(depth: usize) -> CommandQueue {
+        let depth = depth.max(1);
         CommandQueue {
-            waiting: Vec::new(),
-            in_service: HashMap::new(),
-            depth: depth.max(1),
+            waiting: Vec::with_capacity(depth),
+            in_service: Vec::with_capacity(depth),
+            depth,
             next_arrival: 0,
             peak: 0,
         }
@@ -80,7 +84,7 @@ impl CommandQueue {
     pub fn pick(&mut self) -> Option<Command> {
         let idx = self.pick_index()?;
         let (seq, cmd) = self.waiting.remove(idx);
-        self.in_service.insert(seq, (cmd.id, cmd.priority));
+        self.in_service.push((seq, cmd.id, cmd.priority));
         Some(cmd)
     }
 
@@ -98,12 +102,12 @@ impl CommandQueue {
             }
             return None;
         }
-        let min_in_service = self.in_service.keys().min().copied();
+        let min_in_service = self.in_service.iter().map(|&(s, _, _)| s).min();
         let ordered_fence_in_service = self
             .in_service
             .iter()
-            .filter(|(_, (_, p))| *p == Priority::Ordered)
-            .map(|(&s, _)| s)
+            .filter(|&&(_, _, p)| p == Priority::Ordered)
+            .map(|&(s, _, _)| s)
             .min();
         // Waiting list is naturally in arrival order (we only remove).
         for (i, (seq, cmd)) in self.waiting.iter().enumerate() {
@@ -132,19 +136,17 @@ impl CommandQueue {
         None
     }
 
-    /// Releases the queue slot of a completed command.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the command was not in service.
-    pub fn complete(&mut self, id: CmdId) {
-        let seq = self
-            .in_service
-            .iter()
-            .find(|(_, (cid, _))| *cid == id)
-            .map(|(&s, _)| s)
-            .expect("completing a command that is not in service");
-        self.in_service.remove(&seq);
+    /// Releases the queue slot of a completed command. Returns false (and
+    /// changes nothing) when the command was not in service — e.g. a
+    /// duplicate completion delivered by a replayed device event.
+    pub fn complete(&mut self, id: CmdId) -> bool {
+        match self.in_service.iter().position(|&(_, cid, _)| cid == id) {
+            Some(i) => {
+                self.in_service.swap_remove(i);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -268,8 +270,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in service")]
-    fn complete_unknown_panics() {
-        CommandQueue::new(2).complete(CmdId(7));
+    fn complete_unknown_is_rejected() {
+        let mut q = CommandQueue::new(2);
+        assert!(!q.complete(CmdId(7)), "never-admitted command");
+        q.admit(w(1, Priority::Simple)).unwrap();
+        q.pick().unwrap();
+        assert!(q.complete(CmdId(1)));
+        assert!(!q.complete(CmdId(1)), "duplicate completion");
+        assert_eq!(q.occupancy(), 0);
     }
 }

@@ -6,6 +6,12 @@
 //! tag in place — page-cache semantics); the inode has two dirt bits,
 //! because `fdatasync` ignores timestamp-only changes while `fsync` does
 //! not (§6.3's timer-tick effect).
+//!
+//! [`FileId`]s are dense, contiguous small integers (the table is the
+//! allocator), so the table is a direct-indexed `Vec` — the same idiom as
+//! the per-thread syscall table in `fs.rs` and the dense hot-path indexes
+//! in `bio-flash`. Deleted files keep their slot (marked dead) so ids are
+//! never reused and stale references cannot alias a new file.
 
 use std::collections::BTreeMap;
 

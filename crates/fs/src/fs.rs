@@ -21,7 +21,7 @@ use std::collections::{HashMap, HashSet};
 
 use bio_block::{BlockRequest, ReqFlags, ReqId};
 use bio_flash::{BlockTag, Lba};
-use bio_sim::{ActionSink, SimDuration, SimTime};
+use bio_sim::{ActionSink, SeqTable, SimDuration, SimTime};
 
 use crate::config::{FsConfig, FsMode};
 use crate::file::{FileId, FileTable};
@@ -110,6 +110,38 @@ enum SyscallState {
     AwaitRead,
 }
 
+/// Dense per-thread syscall-state table. [`ThreadId`]s are small integers
+/// assigned contiguously by the embedding simulator, so the table is a
+/// direct-indexed `Vec` rather than a hash map — the syscall continuation
+/// lookup sits on every request-completion path.
+#[derive(Debug, Default)]
+struct ThreadTable {
+    slots: Vec<Option<SyscallState>>,
+}
+
+impl ThreadTable {
+    fn set(&mut self, tid: ThreadId, state: SyscallState) {
+        let i = tid.0 as usize;
+        if i >= self.slots.len() {
+            self.slots
+                .resize_with((i + 1).max(self.slots.len() * 2), || None);
+        }
+        self.slots[i] = Some(state);
+    }
+
+    fn get(&self, tid: ThreadId) -> Option<&SyscallState> {
+        self.slots.get(tid.0 as usize)?.as_ref()
+    }
+
+    fn get_mut(&mut self, tid: ThreadId) -> Option<&mut SyscallState> {
+        self.slots.get_mut(tid.0 as usize)?.as_mut()
+    }
+
+    fn take(&mut self, tid: ThreadId) -> Option<SyscallState> {
+        self.slots.get_mut(tid.0 as usize)?.take()
+    }
+}
+
 /// Why a request was submitted (continuation routing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Purpose {
@@ -165,8 +197,12 @@ pub struct Filesystem {
     pub(crate) next_txn: u64,
     pub(crate) conflicts: ConflictList,
     pub(crate) commit_scheduled: bool,
-    syscalls: HashMap<ThreadId, SyscallState>,
-    pub(crate) purposes: HashMap<ReqId, Purpose>,
+    syscalls: ThreadTable,
+    /// Continuation routing per in-flight request, keyed by the
+    /// bump-allocated [`ReqId`]: a dense sliding-window table whose base
+    /// acts as a generation check, so a replayed or duplicate completion
+    /// reads as absent instead of aliasing a live request.
+    pub(crate) purposes: SeqTable<Purpose>,
     next_req: u64,
     /// Journal blocks held by non-checkpointed transactions.
     pub(crate) journal_used: u64,
@@ -202,8 +238,8 @@ impl Filesystem {
             next_txn: 1,
             conflicts: ConflictList::new(),
             commit_scheduled: false,
-            syscalls: HashMap::new(),
-            purposes: HashMap::new(),
+            syscalls: ThreadTable::default(),
+            purposes: SeqTable::new(),
             next_req: 1,
             journal_used: 0,
             journal_stalled: false,
@@ -280,7 +316,7 @@ impl Filesystem {
     pub(crate) fn alloc_req(&mut self, purpose: Purpose) -> ReqId {
         let id = ReqId(self.next_req);
         self.next_req += 1;
-        self.purposes.insert(id, purpose);
+        self.purposes.insert(id.0, purpose);
         id
     }
 
@@ -324,7 +360,7 @@ impl Filesystem {
                         .expect("holder txn")
                         .conflict_waiters
                         .push(tid);
-                    self.syscalls.insert(
+                    self.syscalls.set(
                         tid,
                         SyscallState::AwaitConflict {
                             file,
@@ -552,7 +588,7 @@ impl Filesystem {
         if has_dirty {
             let (reqs, pairs) = self.submit_dirty_data(tid, file, ReqFlags::NONE, false, out);
             self.note_ordered_data(&pairs);
-            self.syscalls.insert(
+            self.syscalls.set(
                 tid,
                 SyscallState::AwaitData {
                     pending: reqs.into_iter().collect(),
@@ -583,7 +619,7 @@ impl Filesystem {
                 .durable_waiters
                 .push(tid);
             self.syscalls
-                .insert(tid, SyscallState::AwaitTxnDurable { txn: holder });
+                .set(tid, SyscallState::AwaitTxnDurable { txn: holder });
             return SyscallOutcome::Blocked;
         }
         if self.files.get(file).metadata_dirty(datasync) {
@@ -596,7 +632,7 @@ impl Filesystem {
                 .push(tid);
             self.trigger_commit(rt, out);
             self.syscalls
-                .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+                .set(tid, SyscallState::AwaitTxnDurable { txn: rt });
             return SyscallOutcome::Blocked;
         }
         // Degenerate (fdatasync-equivalent) path.
@@ -607,7 +643,7 @@ impl Filesystem {
         let rid = self.alloc_req(Purpose::ThreadFlush(tid));
         self.stats.flushes += 1;
         out.push(FsAction::Submit(BlockRequest::flush(rid)));
-        self.syscalls.insert(tid, SyscallState::AwaitFlush);
+        self.syscalls.set(tid, SyscallState::AwaitFlush);
         SyscallOutcome::Blocked
     }
 
@@ -639,7 +675,7 @@ impl Filesystem {
                 .push(tid);
             self.trigger_commit(rt, out);
             self.syscalls
-                .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+                .set(tid, SyscallState::AwaitTxnDurable { txn: rt });
             return SyscallOutcome::Blocked;
         }
         if let Some(holder) = committing_holder {
@@ -657,7 +693,7 @@ impl Filesystem {
             // request), wait for transfer, then flush. Two sleeps.
             let (reqs, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
             self.note_ordered_data(&pairs);
-            self.syscalls.insert(
+            self.syscalls.set(
                 tid,
                 SyscallState::AwaitData {
                     pending: reqs.into_iter().collect(),
@@ -678,7 +714,7 @@ impl Filesystem {
         self.stats.forced_commits += 1;
         self.trigger_commit(rt, out);
         self.syscalls
-            .insert(tid, SyscallState::AwaitTxnDurable { txn: rt });
+            .set(tid, SyscallState::AwaitTxnDurable { txn: rt });
         SyscallOutcome::Blocked
     }
 
@@ -712,7 +748,7 @@ impl Filesystem {
                 .push(tid);
             self.trigger_commit(rt, out);
             self.syscalls
-                .insert(tid, SyscallState::AwaitTxnDispatch { txn: rt });
+                .set(tid, SyscallState::AwaitTxnDispatch { txn: rt });
             return SyscallOutcome::Blocked;
         }
         if has_dirty {
@@ -749,7 +785,7 @@ impl Filesystem {
             self.request_txn_flush(out);
         }
         self.syscalls
-            .insert(tid, SyscallState::AwaitTxnDurable { txn });
+            .set(tid, SyscallState::AwaitTxnDurable { txn });
     }
 
     /// Records data pages that must precede the next commit (ordered-mode
@@ -770,7 +806,7 @@ impl Filesystem {
 
     /// Removes a thread's syscall-state entry (it completed).
     pub(crate) fn clear_syscall(&mut self, tid: ThreadId) {
-        self.syscalls.remove(&tid);
+        self.syscalls.take(tid);
     }
 
     /// Adjusts the global dirty-page counter after a bulk removal.
@@ -786,7 +822,7 @@ impl Filesystem {
         reqs: Vec<ReqId>,
         then: AfterData,
     ) {
-        self.syscalls.insert(
+        self.syscalls.set(
             tid,
             SyscallState::AwaitData {
                 pending: reqs.into_iter().collect(),
@@ -799,13 +835,13 @@ impl Filesystem {
     /// Blocks `tid` awaiting a transaction's durability.
     pub(crate) fn set_state_await_durable(&mut self, tid: ThreadId, txn: TxnId) {
         self.syscalls
-            .insert(tid, SyscallState::AwaitTxnDurable { txn });
+            .set(tid, SyscallState::AwaitTxnDurable { txn });
     }
 
     /// Blocks `tid` awaiting a transaction's JC transfer.
     pub(crate) fn set_state_await_transferred(&mut self, tid: ThreadId, txn: TxnId) {
         self.syscalls
-            .insert(tid, SyscallState::AwaitTxnTransferred { txn });
+            .set(tid, SyscallState::AwaitTxnTransferred { txn });
     }
 
     // ------------------------------------------------------------------
@@ -833,7 +869,7 @@ impl Filesystem {
         };
         let rid = self.alloc_req(Purpose::Read(tid));
         out.push(FsAction::Submit(BlockRequest::read(rid, start, blocks)));
-        self.syscalls.insert(tid, SyscallState::AwaitRead);
+        self.syscalls.set(tid, SyscallState::AwaitRead);
         SyscallOutcome::Blocked
     }
 
@@ -866,16 +902,20 @@ impl Filesystem {
     }
 
     fn on_req_done(&mut self, rid: ReqId, now: SimTime, out: &mut ActionSink<FsAction>) {
-        let purpose = self
-            .purposes
-            .remove(&rid)
-            .expect("completion for unknown request");
+        // A completion for a request with no continuation entry is a
+        // duplicate (the device replayed an interrupt) or a forgery; both
+        // are drivable from outside the filesystem, so drop them here
+        // rather than unwrapping. The purposes window-base check ensures a
+        // stale ReqId can never alias a newer live request.
+        let Some(purpose) = self.purposes.remove(rid.0) else {
+            return;
+        };
         match purpose {
             Purpose::Data(tid) => self.on_data_done(tid, rid, out),
             Purpose::Jd(txn) => self.on_jd_done(txn, out),
             Purpose::Jc(txn) => self.on_jc_done(txn, now, out),
             Purpose::ThreadFlush(tid) => {
-                let st = self.syscalls.remove(&tid);
+                let st = self.syscalls.take(tid);
                 debug_assert!(matches!(st, Some(SyscallState::AwaitFlush)));
                 out.push(FsAction::CtxSwitch(tid));
                 out.push(FsAction::Wake(tid));
@@ -884,7 +924,7 @@ impl Filesystem {
             Purpose::Checkpoint(txn) => self.on_checkpoint_done(txn, out),
             Purpose::Writeback => {}
             Purpose::Read(tid) => {
-                let st = self.syscalls.remove(&tid);
+                let st = self.syscalls.take(tid);
                 debug_assert!(matches!(st, Some(SyscallState::AwaitRead)));
                 out.push(FsAction::CtxSwitch(tid));
                 out.push(FsAction::Wake(tid));
@@ -897,7 +937,7 @@ impl Filesystem {
             pending,
             file,
             then,
-        }) = self.syscalls.get_mut(&tid)
+        }) = self.syscalls.get_mut(tid)
         else {
             // A data write submitted by a call that has since completed
             // (e.g. fdatabarrier); nothing to continue.
@@ -911,16 +951,16 @@ impl Filesystem {
         // All data transferred: the caller wakes (context switch) and
         // continues after the scheduling delay.
         self.syscalls
-            .insert(tid, SyscallState::Stepping { file, then });
+            .set(tid, SyscallState::Stepping { file, then });
         out.push(FsAction::CtxSwitch(tid));
         out.push(FsAction::After(self.cfg.ctx_switch, FsEvent::Step(tid)));
     }
 
     fn on_step(&mut self, tid: ThreadId, now: SimTime, out: &mut ActionSink<FsAction>) {
-        let Some(SyscallState::Stepping { file, then }) = self.syscalls.get(&tid).cloned() else {
+        let Some(SyscallState::Stepping { file, then }) = self.syscalls.get(tid).cloned() else {
             return;
         };
-        self.syscalls.remove(&tid);
+        self.syscalls.take(tid);
         match then {
             AfterData::Ext4Phase2 { datasync } => {
                 if self.ext4_phase2(tid, file, datasync, out) == SyscallOutcome::Done {
@@ -931,7 +971,7 @@ impl Filesystem {
                 let rid = self.alloc_req(Purpose::ThreadFlush(tid));
                 self.stats.flushes += 1;
                 out.push(FsAction::Submit(BlockRequest::flush(rid)));
-                self.syscalls.insert(tid, SyscallState::AwaitFlush);
+                self.syscalls.set(tid, SyscallState::AwaitFlush);
             }
             AfterData::OptfsScan { durable } => {
                 let _ = file;
@@ -952,11 +992,11 @@ impl Filesystem {
             file,
             offset,
             blocks,
-        }) = self.syscalls.get(&tid).cloned()
+        }) = self.syscalls.get(tid).cloned()
         else {
             return;
         };
-        self.syscalls.remove(&tid);
+        self.syscalls.take(tid);
         match self.write(tid, file, offset, blocks, now, out) {
             SyscallOutcome::Done => {
                 out.push(FsAction::CtxSwitch(tid));
@@ -983,7 +1023,7 @@ impl Filesystem {
                 let f = self.files.get_mut(id);
                 let keys: Vec<u64> = f.dirty_data.keys().copied().take(budget).collect();
                 keys.iter()
-                    .map(|b| (*b, f.dirty_data.remove(b).expect("present")))
+                    .filter_map(|b| f.dirty_data.remove(b).map(|t| (*b, t)))
                     .collect()
             };
             budget = budget.saturating_sub(taken.len());

@@ -255,3 +255,59 @@ fn timer_tick_degenerates_fsync() {
     // Same tick, same block, already allocated: no inode action needed.
     assert!(submits(&out).is_empty());
 }
+
+#[test]
+fn duplicate_completion_is_ignored() {
+    // An fsync blocks awaiting its data write; the device delivers the
+    // completion twice (a replayed interrupt). The duplicate must be a
+    // no-op: no second wake, no panic, and the syscall machinery must
+    // still be consistent for the next operation.
+    let (mut fs, f) = setup(FsMode::Ext4);
+    let mut out = ActionSink::new();
+    fs.write(T0, f, 0, 2, SimTime::ZERO, &mut out);
+    out.clear();
+    let r = fs.fsync(T0, f, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Blocked);
+    let subs = submits(&out);
+    assert_eq!(subs.len(), 1, "one contiguous data write");
+    let data_rid = subs[0].0;
+    out.clear();
+    fs.handle(
+        FsEvent::ReqDone(data_rid),
+        SimTime::from_micros(10),
+        &mut out,
+    );
+    let after_first: Vec<FsAction> = out.iter().cloned().collect();
+    out.clear();
+    // Replay the same completion: nothing may happen.
+    fs.handle(
+        FsEvent::ReqDone(data_rid),
+        SimTime::from_micros(11),
+        &mut out,
+    );
+    assert_eq!(out.iter().count(), 0, "duplicate completion must be inert");
+    assert!(
+        !after_first.is_empty(),
+        "the genuine completion made progress"
+    );
+}
+
+#[test]
+fn unknown_completion_is_ignored() {
+    // A completion for a request id the filesystem never allocated (or
+    // allocated long ago and already retired) is dropped.
+    let (mut fs, f) = setup(FsMode::BarrierFs);
+    let mut out = ActionSink::new();
+    fs.write(T0, f, 0, 1, SimTime::ZERO, &mut out);
+    out.clear();
+    fs.handle(
+        FsEvent::ReqDone(ReqId(9_999)),
+        SimTime::from_micros(5),
+        &mut out,
+    );
+    assert_eq!(out.iter().count(), 0, "forged completion must be inert");
+    // The filesystem still works afterwards.
+    let r = fs.fdatabarrier(T0, f, SimTime::ZERO, &mut out);
+    assert_eq!(r, SyscallOutcome::Done);
+    assert_eq!(submits(&out).len(), 1);
+}

@@ -12,6 +12,10 @@
 //! * [`ActionSink`] — the reusable output buffer the layer state machines
 //!   write their actions into (allocation-free event routing),
 //! * [`SimRng`] — seeded xoshiro256++ randomness,
+//! * [`SeqTable`] — a dense sliding-window map for bump-allocated integer
+//!   keys (request ids, destage sequences) that detects stale keys,
+//! * [`PagedMap`] — a direct-indexed map for small keys (LBAs) whose
+//!   memory scales with touched key pages, not the largest key,
 //! * [`LatencyHistogram`] / [`LatencySummary`] — percentile statistics
 //!   (the paper's Table 1 shape),
 //! * [`TimeSeries`] — step-function recording for queue-depth plots
@@ -44,6 +48,7 @@ mod rng;
 mod series;
 mod sink;
 mod stats;
+mod table;
 mod time;
 
 pub use event::EventQueue;
@@ -51,4 +56,5 @@ pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use sink::ActionSink;
 pub use stats::{mean_f64, Counter, LatencyHistogram, LatencySummary};
+pub use table::{PagedMap, SeqTable};
 pub use time::{SimDuration, SimTime};

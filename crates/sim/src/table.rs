@@ -1,0 +1,374 @@
+//! [`SeqTable`] — a dense, sliding-window map for monotonically allocated
+//! integer keys.
+//!
+//! Every hot-path table in the stack (cache destage sequences, in-flight
+//! destage records, filesystem request continuations) is keyed by a small
+//! integer handed out by a bump counter: keys are *dense*, *monotonic*, and
+//! entries die roughly in allocation order. Hashing such keys is pure
+//! overhead, so this table stores entries in a ring indexed by
+//! `key - base`, where `base` is the oldest key that may still be live.
+//!
+//! ## Invariants the callers rely on
+//!
+//! * Keys come from a bump allocator and are never reused after removal.
+//!   Insertion order may deviate from key order (e.g. the orderless
+//!   destage engine starts programs out of transfer order); the window
+//!   extends in both directions to absorb that.
+//! * A key is detected as dead — `get`/`remove` return `None` — both when
+//!   it was never inserted and when it has already been removed. Stale or
+//!   replayed keys therefore cannot alias a different live entry, which is
+//!   what makes graceful duplicate-completion handling possible upstack
+//!   (the window base acts as the generation check).
+//! * Iteration order is key order (== allocation order), which the
+//!   writeback cache uses as transfer order.
+//!
+//! Memory is proportional to the *span* between the oldest live key and
+//! the newest, not to the largest key ever allocated: completed prefixes
+//! are reclaimed as the window's front advances.
+
+use std::collections::VecDeque;
+
+/// Entries per [`PagedMap`] page (a 4096-entry directory leaf).
+const PAGE_SIZE: usize = 4096;
+
+/// A dense, direct-indexed map from small `u64` keys to `T`, backed by a
+/// page directory: `map[key]` is two loads (page pointer, slot), and
+/// memory plus zero-fill cost scale with the *touched* key pages, not the
+/// largest key. This matters for LBA-indexed tables: a device's address
+/// space is locally dense (metadata region, journal, data extents) but can
+/// have large untouched gaps between regions, which a flat `Vec` would pay
+/// to zero on first touch past the gap.
+#[derive(Debug, Clone, Default)]
+pub struct PagedMap<T> {
+    pages: Vec<Option<Box<[Option<T>]>>>,
+    live: usize,
+}
+
+/// Allocates one zeroed leaf page directly on the heap. Kept out of line
+/// (and cold): building the page as a stack temporary inside `insert`
+/// would bloat the hot path's frame with a ~100 KiB array and make every
+/// call pay stack-probe costs.
+#[cold]
+#[inline(never)]
+fn new_page<T: Copy>() -> Box<[Option<T>]> {
+    vec![None; PAGE_SIZE].into_boxed_slice()
+}
+
+impl<T: Copy> PagedMap<T> {
+    /// An empty map with no directory reserved.
+    pub fn new() -> PagedMap<T> {
+        PagedMap {
+            pages: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty map whose page directory is pre-sized for keys below
+    /// `keys` (the directory itself is just pointers; no leaf pages are
+    /// allocated until written).
+    pub fn with_key_capacity(keys: usize) -> PagedMap<T> {
+        PagedMap {
+            pages: Vec::with_capacity(keys.div_ceil(PAGE_SIZE)),
+            live: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Splits a key into (page, slot) indices. Computed in `u64` and
+    /// converted with `try_from` so keys beyond `usize` range (32-bit
+    /// targets) read as absent instead of aliasing a wrapped index.
+    #[inline]
+    fn split(key: u64) -> Option<(usize, usize)> {
+        let pi = usize::try_from(key / PAGE_SIZE as u64).ok()?;
+        Some((pi, (key % PAGE_SIZE as u64) as usize))
+    }
+
+    /// The entry at `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<T> {
+        let (pi, si) = Self::split(key)?;
+        let page = self.pages.get(pi)?.as_ref()?;
+        page[si]
+    }
+
+    /// Inserts `value` at `key`, returning any previous entry. Allocates
+    /// (and zero-fills) only the 4096-entry page containing `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= 2^32`. The map is for dense small keys (block
+    /// addresses, bump-allocated ids); the directory grows linearly with
+    /// the largest key's page, so an absurd key must fail loudly rather
+    /// than attempt a multi-gigabyte directory allocation. 2^32 keys
+    /// (a 16 TiB device at 4 KiB blocks) caps the directory at 8 MiB.
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        assert!(
+            key < 1 << 32,
+            "PagedMap key {key} out of range: dense keys must stay below 2^32"
+        );
+        let (pi, si) = Self::split(key).expect("key < 2^32 splits on any target");
+        if pi >= self.pages.len() {
+            self.pages.resize_with(pi + 1, || None);
+        }
+        let page = self.pages[pi].get_or_insert_with(new_page);
+        let old = page[si].replace(value);
+        if old.is_none() {
+            self.live += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the entry at `key`.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (pi, si) = Self::split(key)?;
+        let old = self.pages.get_mut(pi)?.as_mut()?[si].take();
+        if old.is_some() {
+            self.live -= 1;
+        }
+        old
+    }
+
+    /// Iterates over `(key, entry)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, T)> + '_ {
+        self.pages.iter().enumerate().flat_map(|(pi, page)| {
+            page.iter().flat_map(move |p| {
+                p.iter()
+                    .enumerate()
+                    .filter_map(move |(si, s)| s.map(|v| ((pi * PAGE_SIZE + si) as u64, v)))
+            })
+        })
+    }
+}
+
+/// Dense sliding-window map from monotonically allocated `u64` keys to `T`.
+#[derive(Debug, Clone)]
+pub struct SeqTable<T> {
+    /// `slots[i]` holds the entry for key `base + i`.
+    slots: VecDeque<Option<T>>,
+    /// Key of `slots[0]`; keys below this are known-dead.
+    base: u64,
+    /// Number of live entries.
+    len: usize,
+}
+
+impl<T> Default for SeqTable<T> {
+    fn default() -> Self {
+        SeqTable::new()
+    }
+}
+
+impl<T> SeqTable<T> {
+    /// Creates an empty table with its window starting at key 0.
+    pub fn new() -> SeqTable<T> {
+        SeqTable {
+            slots: VecDeque::new(),
+            base: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn index_of(&self, key: u64) -> Option<usize> {
+        if key < self.base {
+            return None;
+        }
+        let idx = (key - self.base) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Inserts `value` at `key`, returning any previous entry. The caller
+    /// must never reuse a key that has already been removed (bump-allocated
+    /// keys guarantee this); re-opening the window below a reclaimed key
+    /// would make that key look live again.
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        if self.slots.is_empty() {
+            // Fresh window: start it at the first key to avoid a dead
+            // prefix of empty slots.
+            self.base = key;
+        } else if key < self.base {
+            // Out-of-key-order insert (keys are bump-allocated but may be
+            // *used* out of order): extend the window downwards.
+            for _ in key..self.base {
+                self.slots.push_front(None);
+            }
+            self.base = key;
+        }
+        let idx = (key - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        let old = self.slots[idx].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// The entry at `key`, if live.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let idx = self.index_of(key)?;
+        self.slots[idx].as_ref()
+    }
+
+    /// Mutable access to the entry at `key`, if live.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let idx = self.index_of(key)?;
+        self.slots[idx].as_mut()
+    }
+
+    /// True when `key` is live.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the entry at `key`. Unknown, stale and
+    /// already-removed keys all return `None`.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let idx = self.index_of(key)?;
+        let old = self.slots[idx].take();
+        if old.is_some() {
+            self.len -= 1;
+            // Reclaim the dead prefix so memory tracks the live span.
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        old
+    }
+
+    /// Iterates over `(key, &entry)` pairs in key (= allocation) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (self.base + i as u64, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = SeqTable::new();
+        assert!(t.is_empty());
+        t.insert(1, "a");
+        t.insert(2, "b");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1), Some(&"a"));
+        assert_eq!(t.remove(1), Some("a"));
+        assert_eq!(t.remove(1), None, "double remove is detected");
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn window_starts_at_first_key() {
+        let mut t = SeqTable::new();
+        t.insert(1_000, 7u32);
+        assert_eq!(t.get(1_000), Some(&7));
+        assert_eq!(t.get(999), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn front_removal_advances_base_and_reclaims() {
+        let mut t = SeqTable::new();
+        for k in 10..20u64 {
+            t.insert(k, k * 2);
+        }
+        for k in 10..15u64 {
+            assert_eq!(t.remove(k), Some(k * 2));
+        }
+        // Keys below the advanced base read as dead, not as aliases.
+        assert_eq!(t.get(12), None);
+        assert_eq!(t.remove(12), None);
+        assert_eq!(t.len(), 5);
+        assert_eq!(
+            t.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            vec![15, 16, 17, 18, 19]
+        );
+    }
+
+    #[test]
+    fn out_of_order_removal_keeps_holes_dead() {
+        let mut t = SeqTable::new();
+        for k in 0..6u64 {
+            t.insert(k, k);
+        }
+        t.remove(3);
+        assert_eq!(t.get(3), None);
+        assert_eq!(
+            t.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            vec![0, 1, 2, 4, 5]
+        );
+        // Removing the front reclaims through the hole.
+        t.remove(0);
+        t.remove(1);
+        t.remove(2);
+        assert_eq!(t.iter().map(|(k, _)| k).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = SeqTable::new();
+        t.insert(5, 1u32);
+        *t.get_mut(5).unwrap() = 9;
+        assert_eq!(t.get(5), Some(&9));
+        assert!(t.contains(5));
+        assert!(!t.contains(4));
+    }
+
+    #[test]
+    fn paged_map_rejects_absurd_keys_loudly() {
+        // Probing a huge key is harmless; inserting one must fail with a
+        // clear message instead of attempting a giant directory.
+        let mut m: PagedMap<u32> = PagedMap::new();
+        m.insert(5, 1);
+        assert_eq!(m.get(1 << 40), None);
+        assert_eq!(m.remove(1 << 40), None);
+        assert_eq!(m.get(5), Some(1));
+        let huge = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.insert(1 << 32, 2);
+        }));
+        assert!(huge.is_err(), "out-of-range insert must panic, not OOM");
+    }
+
+    #[test]
+    fn inserts_below_base_extend_window_downwards() {
+        let mut t = SeqTable::new();
+        // Keys used out of allocation order (orderless destage picking).
+        t.insert(5, "e");
+        t.insert(3, "c");
+        t.insert(7, "g");
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.iter().collect::<Vec<_>>(),
+            vec![(3, &"c"), (5, &"e"), (7, &"g")]
+        );
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.remove(3), Some("c"));
+        assert_eq!(t.remove(3), None, "reclaimed key stays dead");
+        assert_eq!(t.get(5), Some(&"e"));
+    }
+}
