@@ -904,14 +904,16 @@ pub fn ablation_crash(seeds: u64) -> Vec<(&'static str, u64, u64)> {
             SyncMode::Fsync,
         ),
     ];
+    // One cell per (stack, seed): seeds shard across the worker pool
+    // instead of looping inside one long cell, and the per-stack rows are
+    // summed from the ordered results afterwards — the aggregation is the
+    // same fold the serial loop performed, so output is byte-identical.
     let mut grid = ExperimentGrid::new();
     let mut meta = Vec::new();
     for (label, mk_cfg, sync) in cells {
         meta.push(label);
-        grid.push(format!("crash/{label}"), move || {
-            let mut crashes_with_violation = 0u64;
-            let mut total_violations = 0u64;
-            for seed in 0..seeds {
+        for seed in 0..seeds {
+            grid.push(format!("crash/{label}/seed{seed}"), move || {
                 let mut cfg = mk_cfg().with_seed(seed);
                 cfg.fs.timer_tick = SimDuration::from_micros(1);
                 let mut stack = IoStack::new(cfg);
@@ -924,18 +926,31 @@ pub fn ablation_crash(seeds: u64) -> Vec<(&'static str, u64, u64)> {
                 )));
                 stack.run_for(SimDuration::from_millis(2 + seed * 3));
                 let crash = stack.crash();
-                let v = crash.fs_violations.len() + crash.epoch_violations.len();
-                total_violations += v as u64;
-                crashes_with_violation += u64::from(v > 0);
-            }
-            (crashes_with_violation, total_violations)
-        });
+                (crash.fs_violations.len() + crash.epoch_violations.len()) as u64
+            });
+        }
     }
     let results = grid.run();
-    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    assert_eq!(
+        results.len(),
+        meta.len() * seeds as usize,
+        "grid cell/meta pairing"
+    );
+    let per_stack: Vec<(u64, u64)> = if seeds == 0 {
+        meta.iter().map(|_| (0, 0)).collect()
+    } else {
+        results
+            .chunks(seeds as usize)
+            .map(|chunk| {
+                let crashes_with_violation = chunk.iter().filter(|&&v| v > 0).count() as u64;
+                let total_violations: u64 = chunk.iter().sum();
+                (crashes_with_violation, total_violations)
+            })
+            .collect()
+    };
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    for (label, (crashes_with_violation, total_violations)) in meta.into_iter().zip(results) {
+    for (label, (crashes_with_violation, total_violations)) in meta.into_iter().zip(per_stack) {
         rows.push(vec![
             label.to_string(),
             format!("{crashes_with_violation}/{seeds}"),

@@ -21,7 +21,7 @@
 //! closes the current epoch. How epochs constrain destaging is decided by
 //! the profile's [`BarrierMode`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use bio_sim::{SeqTable, SimDuration, SimRng, SimTime, TimeSeries};
 
@@ -113,8 +113,9 @@ enum Stage {
 struct ActiveCmd {
     cmd: Command,
     stage: Stage,
-    /// When the command entered service consideration; commands that
-    /// waited (queue fence or busy link) had time to decode in parallel.
+    /// When the command was admitted to the queue (carried through
+    /// [`CommandQueue::pick`], never reconstructed); commands that waited
+    /// (queue fence or busy link) had time to decode in parallel.
     arrived: SimTime,
 }
 
@@ -168,7 +169,12 @@ pub struct Device {
     /// overhead (this is why deep queues hide latency — §6.2).
     link_free_at: SimTime,
     ready_for_link: VecDeque<CmdId>,
-    active: HashMap<CmdId, ActiveCmd>,
+    /// Admitted commands in service, keyed by the bump-allocated [`CmdId`]
+    /// (a dense sliding-window table; the window base doubles as a
+    /// generation check, so a replayed or forged event naming a completed
+    /// command reads as absent). The admission time rides inline in
+    /// [`ActiveCmd`] — there is no side map to leak or miss.
+    active: SeqTable<ActiveCmd>,
     drains: Vec<Drain>,
     /// FIFO of DMA-completed writes awaiting cache insertion. Strict FIFO:
     /// inserts must happen in transfer order or epoch tagging would break,
@@ -181,8 +187,6 @@ pub struct Device {
     in_flight_programs: usize,
     trans: TransState,
 
-    /// Admission times, for the decode-overlap rule.
-    admit_times: HashMap<CmdId, SimTime>,
     history: Option<Vec<TransferRec>>,
     qd_series: TimeSeries,
     stats: DeviceStats,
@@ -207,13 +211,12 @@ impl Device {
             rng: SimRng::new(seed),
             link_free_at: SimTime::ZERO,
             ready_for_link: VecDeque::new(),
-            active: HashMap::new(),
+            active: SeqTable::new(),
             drains: Vec::new(),
             pending_inserts: VecDeque::new(),
             destage_info: SeqTable::new(),
             in_flight_programs: 0,
             trans: TransState::default(),
-            admit_times: HashMap::new(),
             history: None,
             qd_series: TimeSeries::new(),
             stats: DeviceStats::default(),
@@ -276,10 +279,8 @@ impl Device {
         now: SimTime,
         out: &mut Vec<DevAction>,
     ) -> Result<(), Command> {
-        let id = cmd.id;
-        match self.queue.admit(cmd) {
+        match self.queue.admit(cmd, now) {
             Ok(()) => {
-                self.admit_times.insert(id, now);
                 self.sample_qd(now);
                 self.pump(now, out);
                 Ok(())
@@ -298,15 +299,35 @@ impl Device {
             DevEvent::DmaDone { id } => self.on_dma_done(id, now, out),
             DevEvent::ProgramDone { seq, chip } => self.on_program_done(seq, chip, now, out),
             DevEvent::Finish { id } => {
+                // Finish events are only ever scheduled for flush commands
+                // (the delayed-completion path); any other target — a
+                // retired id, or a forged Finish naming a live command
+                // mid-flight — is dropped. Without the stage check a
+                // forged Finish would remove a live write from the active
+                // table while it still sits in ready_for_link /
+                // pending_inserts, completing it to the host without its
+                // data ever reaching the cache.
+                if self
+                    .active
+                    .get(id.0)
+                    .is_none_or(|a| a.stage != Stage::Draining)
+                {
+                    return;
+                }
                 self.complete_cmd(id, now, out);
                 self.pump(now, out);
             }
             DevEvent::PreflushDone { id } => {
-                // A PreflushDone for a command no longer active (replayed
-                // event) is dropped rather than re-queued for the link.
-                let Some(active) = self.active.get_mut(&id) else {
+                // A PreflushDone for a command no longer active, or one
+                // not actually waiting on a preflush (a replayed or forged
+                // event), is dropped rather than re-queued for the link —
+                // a double enqueue would start two DMAs for one command.
+                let Some(active) = self.active.get_mut(id.0) else {
                     return;
                 };
+                if active.stage != Stage::Preflush {
+                    return;
+                }
                 active.stage = Stage::WaitLink;
                 self.ready_for_link.push_back(id);
                 self.pump(now, out);
@@ -328,20 +349,20 @@ impl Device {
                 self.start_dma(id, now, out);
                 continue;
             }
-            let Some(cmd) = self.queue.pick() else { break };
-            self.begin_service(cmd, now, out);
+            let Some((cmd, admitted)) = self.queue.pick() else {
+                break;
+            };
+            self.begin_service(cmd, admitted, out);
         }
         self.destage_pump(now, out);
     }
 
-    fn begin_service(&mut self, cmd: Command, now: SimTime, out: &mut Vec<DevAction>) {
+    fn begin_service(&mut self, cmd: Command, arrived: SimTime, out: &mut Vec<DevAction>) {
         let id = cmd.id;
-        let arrived = self.admit_times.remove(&id).unwrap_or(now);
-        let _ = now;
         match &cmd.kind {
             CmdKind::Flush => {
                 self.active.insert(
-                    id,
+                    id.0,
                     ActiveCmd {
                         cmd,
                         stage: Stage::Draining,
@@ -380,7 +401,7 @@ impl Device {
                         // Even an empty preflush costs the controller
                         // round trip, like an explicit flush.
                         self.active.insert(
-                            id,
+                            id.0,
                             ActiveCmd {
                                 cmd,
                                 stage: Stage::Preflush,
@@ -393,7 +414,7 @@ impl Device {
                         ));
                     } else {
                         self.active.insert(
-                            id,
+                            id.0,
                             ActiveCmd {
                                 cmd,
                                 stage: Stage::Preflush,
@@ -408,7 +429,7 @@ impl Device {
                     }
                 } else {
                     self.active.insert(
-                        id,
+                        id.0,
                         ActiveCmd {
                             cmd,
                             stage: Stage::WaitLink,
@@ -420,7 +441,7 @@ impl Device {
             }
             CmdKind::Read { .. } => {
                 self.active.insert(
-                    id,
+                    id.0,
                     ActiveCmd {
                         cmd,
                         stage: Stage::WaitLink,
@@ -433,7 +454,24 @@ impl Device {
     }
 
     fn start_dma(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
-        let active = self.active.get_mut(&id).expect("active command");
+        // The link queue only ever holds live WaitLink commands; if the
+        // entry is gone or out of phase the enqueue was forged, so skip it
+        // rather than transfer for a dead command.
+        let Some(active) = self.active.get_mut(id.0) else {
+            debug_assert!(false, "ready_for_link entry without active command");
+            return;
+        };
+        if active.stage != Stage::WaitLink {
+            debug_assert!(false, "ready_for_link entry out of phase");
+            return;
+        }
+        // Check the kind before mutating the stage: bailing out *after*
+        // the Dma transition would wedge the command (no DmaDone ever
+        // scheduled) and leak its queue slot.
+        if matches!(active.cmd.kind, CmdKind::Flush) {
+            debug_assert!(false, "flush command in the link queue");
+            return;
+        }
         active.stage = Stage::Dma;
         let blocks = active.cmd.kind.blocks().max(1);
         let mut dur = self.profile.dma_per_block * blocks;
@@ -459,7 +497,11 @@ impl Device {
                     dur += self.profile.page_read;
                 }
             }
-            CmdKind::Flush => unreachable!("flush never uses the link"),
+            // Excluded above, before the stage transition.
+            CmdKind::Flush => {
+                debug_assert!(false, "flush rejected before Dma");
+                return;
+            }
         }
         let done = self.link_free_at.max(now) + dur;
         self.link_free_at = done;
@@ -470,7 +512,15 @@ impl Device {
     }
 
     fn on_dma_done(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
-        let active = self.active.get_mut(&id).expect("active command");
+        // A DmaDone for a command that is not mid-DMA is a replayed or
+        // forged event: acting on it would double-queue a cache insert or
+        // double-complete a read. Drop it.
+        let Some(active) = self.active.get_mut(id.0) else {
+            return;
+        };
+        if active.stage != Stage::Dma {
+            return;
+        }
         match &active.cmd.kind {
             CmdKind::Read { .. } => {
                 self.stats.read_cmds += 1;
@@ -480,11 +530,17 @@ impl Device {
                 // Cache insertion happens strictly in transfer order;
                 // capacity backpressure queues the command (and everything
                 // behind it) until programs free space.
-                self.active.get_mut(&id).expect("active").stage = Stage::WaitCache;
+                active.stage = Stage::WaitCache;
                 self.pending_inserts.push_back(id);
                 self.drain_pending_inserts(now, out);
             }
-            CmdKind::Flush => unreachable!("flush never uses the link"),
+            // A flush can never be in the Dma stage (start_dma rejects it
+            // before the transition), so nothing was mutated yet here and
+            // dropping the event is safe.
+            CmdKind::Flush => {
+                debug_assert!(false, "flush command in Dma stage");
+                return;
+            }
         }
         self.pump(now, out);
     }
@@ -494,13 +550,20 @@ impl Device {
     /// long-term slot).
     fn drain_pending_inserts(&mut self, now: SimTime, out: &mut Vec<DevAction>) {
         while let Some(&id) = self.pending_inserts.front() {
-            let (blocks, fua) = {
-                let a = &self.active[&id];
-                match &a.cmd.kind {
-                    CmdKind::Write { tags, flags, .. } => {
-                        (tags.len(), flags.fua && !self.profile.plp)
-                    }
-                    _ => unreachable!("only writes queue for insertion"),
+            // Only live writes are ever queued for insertion; a vanished
+            // entry means the FIFO was corrupted from outside — discard
+            // the orphan instead of indexing into a dead slot.
+            let Some(a) = self.active.get(id.0) else {
+                debug_assert!(false, "pending insert without active command");
+                self.pending_inserts.pop_front();
+                continue;
+            };
+            let (blocks, fua) = match &a.cmd.kind {
+                CmdKind::Write { tags, flags, .. } => (tags.len(), flags.fua && !self.profile.plp),
+                _ => {
+                    debug_assert!(false, "only writes queue for insertion");
+                    self.pending_inserts.pop_front();
+                    continue;
                 }
             };
             if !fua && self.cache.len() + blocks > self.profile.cache_blocks {
@@ -509,7 +572,9 @@ impl Device {
             self.pending_inserts.pop_front();
             let seqs = self.insert_blocks(id);
             if fua {
-                self.active.get_mut(&id).expect("active").stage = Stage::WaitFua;
+                if let Some(a) = self.active.get_mut(id.0) {
+                    a.stage = Stage::WaitFua;
+                }
                 self.drains.push(Drain {
                     id,
                     remaining: seqs.into_iter().collect(),
@@ -526,9 +591,11 @@ impl Device {
     /// honouring the barrier flag on the final block. Returns the cache
     /// sequences of the inserted blocks.
     fn insert_blocks(&mut self, id: CmdId) -> Vec<u64> {
-        let (start, tags, flags) = match &self.active[&id].cmd.kind {
-            CmdKind::Write { start, tags, flags } => (*start, tags.clone(), *flags),
-            _ => unreachable!("insert_blocks on non-write"),
+        let Some((start, tags, flags)) = self.active.get(id.0).and_then(|a| match &a.cmd.kind {
+            CmdKind::Write { start, tags, flags } => Some((*start, tags.clone(), *flags)),
+            _ => None,
+        }) else {
+            return Vec::new();
         };
         let n = tags.len();
         let mut seqs = Vec::with_capacity(n);
@@ -713,8 +780,10 @@ impl Device {
 
     fn complete_cmd(&mut self, id: CmdId, now: SimTime, out: &mut Vec<DevAction>) {
         // A duplicate Finish event (replayed completion) finds no active
-        // command; drop it without touching queue slots or stats.
-        let Some(active) = self.active.remove(&id) else {
+        // command — the sliding window's base makes a completed id read as
+        // absent — so it is dropped without touching queue slots, stats,
+        // or the latency-bearing Completion record.
+        let Some(active) = self.active.remove(id.0) else {
             return;
         };
         if matches!(active.cmd.kind, CmdKind::Flush) {

@@ -17,12 +17,19 @@
 //! depth), not a map: queue depths are 8–64, so linear scans beat hashing
 //! and the set never reallocates after construction.
 
+use bio_sim::SimTime;
+
 use crate::types::{CmdId, Command, Priority};
 
 /// A depth-bounded command queue tracking waiting and in-service commands.
+///
+/// Each waiting command carries its admission time, handed back by
+/// [`CommandQueue::pick`]: the admit record rides with the command instead
+/// of living in a side map, so it can neither leak when a command leaves
+/// through an unusual path nor go missing when service begins.
 #[derive(Debug, Default)]
 pub struct CommandQueue {
-    waiting: Vec<(u64, Command)>,
+    waiting: Vec<(u64, SimTime, Command)>,
     /// `(arrival-seq, id, priority)` of commands picked but not yet
     /// completed; a small slab bounded by the queue depth.
     in_service: Vec<(u64, CmdId, Priority)>,
@@ -66,26 +73,28 @@ impl CommandQueue {
         self.occupancy() < self.depth
     }
 
-    /// Admits a command, or returns it when the queue is full (the host
-    /// must retry later — the "device busy" path of Fig 6(b)).
-    pub fn admit(&mut self, cmd: Command) -> Result<(), Command> {
+    /// Admits a command at time `now`, or returns it when the queue is
+    /// full (the host must retry later — the "device busy" path of
+    /// Fig 6(b)).
+    pub fn admit(&mut self, cmd: Command, now: SimTime) -> Result<(), Command> {
         if !self.has_room() {
             return Err(cmd);
         }
         let seq = self.next_arrival;
         self.next_arrival += 1;
-        self.waiting.push((seq, cmd));
+        self.waiting.push((seq, now, cmd));
         self.peak = self.peak.max(self.occupancy());
         Ok(())
     }
 
     /// Picks the next serviceable command under the priority rules, moving
-    /// it to the in-service set. Returns `None` when nothing is eligible.
-    pub fn pick(&mut self) -> Option<Command> {
+    /// it to the in-service set. Returns the command together with its
+    /// admission time; `None` when nothing is eligible.
+    pub fn pick(&mut self) -> Option<(Command, SimTime)> {
         let idx = self.pick_index()?;
-        let (seq, cmd) = self.waiting.remove(idx);
+        let (seq, admitted, cmd) = self.waiting.remove(idx);
         self.in_service.push((seq, cmd.id, cmd.priority));
-        Some(cmd)
+        Some((cmd, admitted))
     }
 
     fn pick_index(&self) -> Option<usize> {
@@ -95,7 +104,7 @@ impl CommandQueue {
         if let Some(i) = self
             .waiting
             .iter()
-            .position(|(_, c)| c.priority == Priority::HeadOfQueue)
+            .position(|(_, _, c)| c.priority == Priority::HeadOfQueue)
         {
             if self.in_service.is_empty() {
                 return Some(i);
@@ -110,7 +119,7 @@ impl CommandQueue {
             .map(|&(s, _, _)| s)
             .min();
         // Waiting list is naturally in arrival order (we only remove).
-        for (i, (seq, cmd)) in self.waiting.iter().enumerate() {
+        for (i, (seq, _, cmd)) in self.waiting.iter().enumerate() {
             match cmd.priority {
                 Priority::HeadOfQueue => unreachable!("handled above"),
                 Priority::Ordered => {
@@ -162,9 +171,9 @@ mod tests {
     #[test]
     fn admits_until_depth() {
         let mut q = CommandQueue::new(2);
-        assert!(q.admit(w(1, Priority::Simple)).is_ok());
-        assert!(q.admit(w(2, Priority::Simple)).is_ok());
-        let back = q.admit(w(3, Priority::Simple));
+        assert!(q.admit(w(1, Priority::Simple), SimTime::ZERO).is_ok());
+        assert!(q.admit(w(2, Priority::Simple), SimTime::ZERO).is_ok());
+        let back = q.admit(w(3, Priority::Simple), SimTime::ZERO);
         assert!(back.is_err(), "third command must bounce");
         assert_eq!(q.occupancy(), 2);
         assert_eq!(q.peak_occupancy(), 2);
@@ -173,107 +182,120 @@ mod tests {
     #[test]
     fn in_service_occupies_slot() {
         let mut q = CommandQueue::new(2);
-        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
         q.pick().unwrap();
         assert_eq!(q.occupancy(), 1);
-        assert!(q.admit(w(2, Priority::Simple)).is_ok());
-        assert!(q.admit(w(3, Priority::Simple)).is_err());
+        assert!(q.admit(w(2, Priority::Simple), SimTime::ZERO).is_ok());
+        assert!(q.admit(w(3, Priority::Simple), SimTime::ZERO).is_err());
         q.complete(CmdId(1));
-        assert!(q.admit(w(3, Priority::Simple)).is_ok());
+        assert!(q.admit(w(3, Priority::Simple), SimTime::ZERO).is_ok());
     }
 
     #[test]
     fn simple_commands_fifo() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Simple)).unwrap();
-        q.admit(w(2, Priority::Simple)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::Simple), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
         assert!(q.pick().is_none());
     }
 
     #[test]
     fn head_of_queue_jumps() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Simple)).unwrap();
-        q.admit(w(2, Priority::HeadOfQueue)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::HeadOfQueue), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
     }
 
     #[test]
     fn ordered_waits_for_earlier_completion() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Simple)).unwrap();
-        q.admit(w(2, Priority::Ordered)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::Ordered), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
         // cmd 1 in service (not completed): ordered cmd 2 must wait.
         assert!(q.pick().is_none());
         q.complete(CmdId(1));
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
     }
 
     #[test]
     fn simple_cannot_pass_waiting_ordered() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Simple)).unwrap();
-        q.admit(w(2, Priority::Ordered)).unwrap();
-        q.admit(w(3, Priority::Simple)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::Ordered), SimTime::ZERO).unwrap();
+        q.admit(w(3, Priority::Simple), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
         // Neither the ordered fence nor the later simple may start.
         assert!(q.pick().is_none());
         q.complete(CmdId(1));
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
         // Ordered cmd 2 is in service, still fencing cmd 3.
         assert!(q.pick().is_none());
         q.complete(CmdId(2));
-        assert_eq!(q.pick().unwrap().id, CmdId(3));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(3));
     }
 
     #[test]
     fn simple_before_ordered_flows_freely() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Simple)).unwrap();
-        q.admit(w(2, Priority::Simple)).unwrap();
-        q.admit(w(3, Priority::Ordered)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::Simple), SimTime::ZERO).unwrap();
+        q.admit(w(3, Priority::Ordered), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
         assert!(q.pick().is_none(), "ordered waits for both completions");
         q.complete(CmdId(1));
         q.complete(CmdId(2));
-        assert_eq!(q.pick().unwrap().id, CmdId(3));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(3));
     }
 
     #[test]
     fn consecutive_ordered_commands_serialize() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Ordered)).unwrap();
-        q.admit(w(2, Priority::Ordered)).unwrap();
-        assert_eq!(q.pick().unwrap().id, CmdId(1));
+        q.admit(w(1, Priority::Ordered), SimTime::ZERO).unwrap();
+        q.admit(w(2, Priority::Ordered), SimTime::ZERO).unwrap();
+        assert_eq!(q.pick().unwrap().0.id, CmdId(1));
         assert!(q.pick().is_none());
         q.complete(CmdId(1));
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
     }
 
     #[test]
     fn head_of_queue_jumps_waiting_but_awaits_in_flight() {
         let mut q = CommandQueue::new(8);
-        q.admit(w(1, Priority::Ordered)).unwrap();
+        q.admit(w(1, Priority::Ordered), SimTime::ZERO).unwrap();
         q.pick().unwrap();
-        q.admit(w(2, Priority::HeadOfQueue)).unwrap();
-        q.admit(w(3, Priority::Simple)).unwrap();
+        q.admit(w(2, Priority::HeadOfQueue), SimTime::ZERO).unwrap();
+        q.admit(w(3, Priority::Simple), SimTime::ZERO).unwrap();
         // Like a non-queued FLUSH: waits for the in-flight command...
         assert!(q.pick().is_none());
         q.complete(CmdId(1));
         // ...then jumps ahead of every waiting command.
-        assert_eq!(q.pick().unwrap().id, CmdId(2));
+        assert_eq!(q.pick().unwrap().0.id, CmdId(2));
+    }
+
+    #[test]
+    fn pick_returns_the_admission_time() {
+        let mut q = CommandQueue::new(8);
+        q.admit(w(1, Priority::Simple), SimTime::from_micros(5))
+            .unwrap();
+        q.admit(w(2, Priority::Simple), SimTime::from_micros(9))
+            .unwrap();
+        let (c1, t1) = q.pick().unwrap();
+        let (c2, t2) = q.pick().unwrap();
+        assert_eq!((c1.id, t1), (CmdId(1), SimTime::from_micros(5)));
+        assert_eq!((c2.id, t2), (CmdId(2), SimTime::from_micros(9)));
     }
 
     #[test]
     fn complete_unknown_is_rejected() {
         let mut q = CommandQueue::new(2);
         assert!(!q.complete(CmdId(7)), "never-admitted command");
-        q.admit(w(1, Priority::Simple)).unwrap();
+        q.admit(w(1, Priority::Simple), SimTime::ZERO).unwrap();
         q.pick().unwrap();
         assert!(q.complete(CmdId(1)));
         assert!(!q.complete(CmdId(1)), "duplicate completion");

@@ -329,6 +329,123 @@ fn sustained_writes_trigger_gc() {
 }
 
 #[test]
+fn replayed_finish_cannot_produce_a_completion_sample() {
+    // A flush completes via a Finish event; the host derives its latency
+    // sample from the Completion record. Before the admit time moved
+    // inline into the active table, a replayed Finish could re-complete a
+    // command whose admit record was gone, yielding a zero-latency sample.
+    // Now the replay must produce no Completion at all.
+    let mut h = Harness::new(DeviceProfile::ufs(), 21);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    h.run_until_complete(CmdId(1));
+    h.submit(Command::flush(CmdId(2)));
+    h.run_until_complete(CmdId(2));
+    h.run();
+    let completions = h.completions.len();
+    let stats = h.dev.stats();
+    // Replay the Finish for the already-completed flush, and forge one for
+    // a command that never existed.
+    for id in [CmdId(2), CmdId(99)] {
+        let mut out = Vec::new();
+        let now = h.q.now();
+        h.dev.handle(DevEvent::Finish { id }, now, &mut out);
+        h.apply(out);
+    }
+    h.run();
+    assert_eq!(
+        h.completions.len(),
+        completions,
+        "replayed Finish must not emit a Completion (no latency sample)"
+    );
+    assert_eq!(h.dev.stats().flush_cmds, stats.flush_cmds);
+    assert_eq!(h.dev.stats().write_cmds, stats.write_cmds);
+    assert_eq!(h.dev.queue_depth(), 0, "no queue slot double-released");
+}
+
+#[test]
+fn forged_stage_events_are_inert() {
+    // DmaDone / PreflushDone / Finish events naming a live command in the
+    // wrong stage (replayed or forged interrupts) must not double-queue it
+    // for the link or the cache, and must not complete a mid-flight write
+    // before its data reaches the cache; the device completes every
+    // command exactly once with its content intact.
+    let mut h = Harness::new(DeviceProfile::plain_ssd(), 22);
+    for i in 1..=3u64 {
+        h.submit(wcmd(i, i, i + 10, WriteFlags::NONE));
+    }
+    // Interleave forged events with the real ones.
+    for _ in 0..64 {
+        let Some((now, ev)) = h.q.pop() else { break };
+        let mut out = Vec::new();
+        h.dev.handle(ev, now, &mut out);
+        h.apply(out);
+        for id in [CmdId(1), CmdId(2), CmdId(3), CmdId(7)] {
+            let mut out = Vec::new();
+            h.dev.handle(DevEvent::PreflushDone { id }, now, &mut out);
+            h.dev.handle(DevEvent::DmaDone { id }, now, &mut out);
+            h.dev.handle(DevEvent::Finish { id }, now, &mut out);
+            h.apply(out);
+        }
+    }
+    h.run();
+    for i in 1..=3u64 {
+        let n = h.completions.iter().filter(|c| c.id == CmdId(i)).count();
+        assert_eq!(n, 1, "command {i} must complete exactly once, got {n}");
+    }
+    assert_eq!(h.dev.queue_depth(), 0);
+    let img = h.dev.final_image();
+    for i in 1..=3u64 {
+        assert_eq!(img.tag(Lba(i)), BlockTag(i + 10), "content intact");
+    }
+}
+
+#[test]
+fn forged_finish_on_a_waiting_write_does_not_complete_it() {
+    // A forged Finish naming a live write that has not transferred yet
+    // must be dropped: completing it would free its queue slot and report
+    // success to the host while the data never reaches the cache.
+    let mut h = Harness::new(DeviceProfile::ufs(), 24);
+    h.submit(wcmd(1, 0, 10, WriteFlags::NONE));
+    // The write is mid-flight (Dma scheduled, nothing completed yet).
+    assert!(h.completions.is_empty());
+    let mut out = Vec::new();
+    let now = h.q.now();
+    h.dev
+        .handle(DevEvent::Finish { id: CmdId(1) }, now, &mut out);
+    h.apply(out);
+    assert!(
+        h.completions.is_empty(),
+        "forged Finish must not complete a waiting write"
+    );
+    // The genuine pipeline still completes it exactly once, with content.
+    h.run();
+    assert_eq!(h.completions.len(), 1);
+    h.run();
+    assert_eq!(h.dev.final_image().tag(Lba(0)), BlockTag(10));
+}
+
+#[test]
+fn waiting_commands_keep_their_admit_time_across_a_fence() {
+    // Two writes behind an ordered barrier write: they sit in the queue
+    // until the fence completes, so their decode overlaps the wait and the
+    // per-command overhead is not charged (the §6.2 rule). The admit time
+    // that drives this now rides inline through the queue pick.
+    let mut h = Harness::new(DeviceProfile::ufs(), 23);
+    h.submit(wcmd(1, 0, 1, WriteFlags::BARRIER).with_priority(Priority::Ordered));
+    h.submit(wcmd(2, 1, 2, WriteFlags::NONE));
+    let t1 = h.run_until_complete(CmdId(1));
+    let t2 = h.run_until_complete(CmdId(2));
+    assert!(t2 > t1, "fenced command completes after the fence");
+    // UFS dma_per_block = 25us: the queued command pays only its DMA after
+    // the fence completes, not the 60us decode overhead.
+    assert_eq!(
+        t2.saturating_since(t1),
+        bio_sim::SimDuration::from_micros(25),
+        "queued command must not be charged decode overhead"
+    );
+}
+
+#[test]
 fn qd_series_tracks_occupancy() {
     let mut h = Harness::new(DeviceProfile::plain_ssd(), 12);
     for i in 0..4u64 {

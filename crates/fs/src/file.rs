@@ -24,6 +24,147 @@ use crate::txn::TxnId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u32);
 
+/// Sorted, run-based dirty-page tracker: dirty blocks are stored as
+/// maximal runs of consecutive file blocks (`start`, one tag per block)
+/// instead of one map entry per block.
+///
+/// Dirty sets are overwhelmingly contiguous (appends, sequential
+/// overwrites), so the run list stays tiny, and the drain paths
+/// (`fsync`'s collect-then-clear, pdflush's budgeted take) walk runs
+/// rather than per-block `BTreeMap` entries. All iteration and drain
+/// orders are ascending block order — exactly the order the previous
+/// `BTreeMap<u64, BlockTag>` produced, which the request-formation code
+/// relies on for byte-identical output.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyTracker {
+    /// Sorted, non-overlapping, non-adjacent runs: `(first block, tags)`
+    /// where `tags[i]` belongs to block `start + i`.
+    runs: Vec<(u64, Vec<BlockTag>)>,
+    /// Total dirty blocks across all runs.
+    blocks: usize,
+}
+
+impl DirtyTracker {
+    /// An empty tracker.
+    pub fn new() -> DirtyTracker {
+        DirtyTracker::default()
+    }
+
+    /// Number of dirty blocks.
+    pub fn len(&self) -> usize {
+        self.blocks
+    }
+
+    /// True when nothing is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks == 0
+    }
+
+    /// Number of runs (for tests and diagnostics).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Marks `block` dirty with `tag`, replacing the tag in place when the
+    /// block was already dirty (page-cache semantics). Returns true when
+    /// the block was newly dirtied.
+    pub fn insert(&mut self, block: u64, tag: BlockTag) -> bool {
+        // Index of the first run starting after `block`; the run that
+        // could contain or extend-to `block` is the one before it.
+        let idx = self.runs.partition_point(|(s, _)| *s <= block);
+        if idx > 0 {
+            let (start, tags) = &mut self.runs[idx - 1];
+            let off = (block - *start) as usize;
+            if off < tags.len() {
+                tags[off] = tag; // overwrite in place
+                return false;
+            }
+            if off == tags.len() {
+                // Extends the previous run; may bridge to the next.
+                tags.push(tag);
+                self.blocks += 1;
+                if idx < self.runs.len() && self.runs[idx].0 == block + 1 {
+                    let (_, next_tags) = self.runs.remove(idx);
+                    self.runs[idx - 1].1.extend(next_tags);
+                }
+                return true;
+            }
+        }
+        if idx < self.runs.len() && self.runs[idx].0 == block + 1 {
+            // Prepends to the following run.
+            let (start, tags) = &mut self.runs[idx];
+            *start = block;
+            tags.insert(0, tag);
+            self.blocks += 1;
+            return true;
+        }
+        self.runs.insert(idx, (block, vec![tag]));
+        self.blocks += 1;
+        true
+    }
+
+    /// True when `block` is dirty.
+    pub fn contains(&self, block: u64) -> bool {
+        self.tag_at(block).is_some()
+    }
+
+    /// The tag of a dirty block, if dirty.
+    pub fn tag_at(&self, block: u64) -> Option<BlockTag> {
+        let idx = self.runs.partition_point(|(s, _)| *s <= block);
+        let (start, tags) = self.runs.get(idx.checked_sub(1)?)?;
+        tags.get((block - start) as usize).copied()
+    }
+
+    /// Iterates over `(block, tag)` pairs in ascending block order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, BlockTag)> + '_ {
+        self.runs.iter().flat_map(|(start, tags)| {
+            tags.iter()
+                .enumerate()
+                .map(move |(i, t)| (start + i as u64, *t))
+        })
+    }
+
+    /// Drains every run, returning them in ascending block order.
+    pub fn take_runs(&mut self) -> Vec<(u64, Vec<BlockTag>)> {
+        self.blocks = 0;
+        std::mem::take(&mut self.runs)
+    }
+
+    /// Drains up to `n` dirty blocks, lowest block first (the pdflush
+    /// budget), returning `(block, tag)` pairs in ascending order.
+    pub fn take_blocks(&mut self, n: usize) -> Vec<(u64, BlockTag)> {
+        let mut out = Vec::with_capacity(n.min(self.blocks));
+        while out.len() < n && !self.runs.is_empty() {
+            let want = n - out.len();
+            if self.runs[0].1.len() <= want {
+                let (start, tags) = self.runs.remove(0);
+                out.extend(
+                    tags.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| (start + i as u64, t)),
+                );
+            } else {
+                let (start, tags) = &mut self.runs[0];
+                let first = *start;
+                *start += want as u64;
+                out.extend(
+                    tags.drain(..want)
+                        .enumerate()
+                        .map(|(i, t)| (first + i as u64, t)),
+                );
+            }
+        }
+        self.blocks -= out.len();
+        out
+    }
+
+    /// Drops every dirty block, returning how many were dropped.
+    pub fn clear(&mut self) -> usize {
+        self.runs.clear();
+        std::mem::take(&mut self.blocks)
+    }
+}
+
 /// One file.
 #[derive(Debug, Clone)]
 pub struct File {
@@ -33,8 +174,8 @@ pub struct File {
     pub size_blocks: u64,
     /// Extent map: file-block offset → starting LBA, length.
     extents: Vec<(u64, Lba, u64)>,
-    /// Dirty data pages: file block → content tag.
-    pub dirty_data: BTreeMap<u64, BlockTag>,
+    /// Dirty data pages, tracked as sorted runs of consecutive blocks.
+    pub dirty_data: DirtyTracker,
     /// Blocks ever written back (used by OptFS selective data journaling:
     /// an overwrite of committed content is journaled, not written in
     /// place).
@@ -96,7 +237,7 @@ impl FileTable {
             inode_lba: layout.alloc_meta(),
             size_blocks: 0,
             extents: Vec::new(),
-            dirty_data: BTreeMap::new(),
+            dirty_data: DirtyTracker::new(),
             committed_blocks: BTreeMap::new(),
             meta_tag: layout.next_tag(),
             alloc_dirty: true, // a fresh inode must be journaled
@@ -228,6 +369,74 @@ mod tests {
         assert!(!file.metadata_dirty(true), "fdatasync ignores mtime");
         file.alloc_dirty = true;
         assert!(file.metadata_dirty(true));
+    }
+
+    #[test]
+    fn dirty_tracker_merges_runs() {
+        let mut d = DirtyTracker::new();
+        assert!(d.insert(5, BlockTag(1)));
+        assert!(d.insert(7, BlockTag(2)));
+        assert_eq!(d.run_count(), 2);
+        // 6 bridges [5] and [7] into one run.
+        assert!(d.insert(6, BlockTag(3)));
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.len(), 3);
+        // Overwrite replaces the tag without growing.
+        assert!(!d.insert(6, BlockTag(9)));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.tag_at(6), Some(BlockTag(9)));
+        // Prepend extends a run downward.
+        assert!(d.insert(4, BlockTag(4)));
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            vec![
+                (4, BlockTag(4)),
+                (5, BlockTag(1)),
+                (6, BlockTag(9)),
+                (7, BlockTag(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn dirty_tracker_budgeted_take_splits_runs() {
+        let mut d = DirtyTracker::new();
+        for b in 0..6u64 {
+            d.insert(b, BlockTag(b + 1));
+        }
+        d.insert(10, BlockTag(99));
+        let first = d.take_blocks(4);
+        assert_eq!(
+            first.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(4) && d.contains(10) && !d.contains(0));
+        let rest = d.take_blocks(10);
+        assert_eq!(
+            rest.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![4, 5, 10]
+        );
+        assert!(d.is_empty());
+        assert!(d.take_blocks(3).is_empty());
+    }
+
+    #[test]
+    fn dirty_tracker_take_runs_and_clear() {
+        let mut d = DirtyTracker::new();
+        d.insert(0, BlockTag(1));
+        d.insert(1, BlockTag(2));
+        d.insert(8, BlockTag(3));
+        let runs = d.take_runs();
+        assert_eq!(
+            runs,
+            vec![(0, vec![BlockTag(1), BlockTag(2)]), (8, vec![BlockTag(3)]),]
+        );
+        assert!(d.is_empty());
+        d.insert(3, BlockTag(4));
+        assert_eq!(d.clear(), 1);
+        assert!(d.is_empty() && d.run_count() == 0);
     }
 
     #[test]

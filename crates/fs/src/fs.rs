@@ -17,7 +17,7 @@
 //! [`FsAction::CtxSwitch`]. The CtxSwitch count per operation is the
 //! metric of the paper's Fig 11.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use bio_block::{BlockRequest, ReqFlags, ReqId};
 use bio_flash::{BlockTag, Lba};
@@ -27,7 +27,7 @@ use crate::config::{FsConfig, FsMode};
 use crate::file::{FileId, FileTable};
 use crate::layout::Layout;
 use crate::recovery::TxnRecord;
-use crate::txn::{ConflictList, ThreadId, Txn, TxnId, TxnState};
+use crate::txn::{ConflictList, ThreadId, Txn, TxnId, TxnState, TxnTable};
 
 /// Events the filesystem schedules for itself (routed back by the
 /// embedding simulator).
@@ -182,6 +182,9 @@ pub struct FsStats {
     pub page_conflicts: u64,
     /// Flush requests issued.
     pub flushes: u64,
+    /// Journal events dropped because they referenced a retired or
+    /// never-placed transaction (stale, duplicated or forged completions).
+    pub dropped_journal_events: u64,
 }
 
 /// The simulated filesystem.
@@ -190,7 +193,11 @@ pub struct Filesystem {
     pub(crate) cfg: FsConfig,
     pub(crate) layout: Layout,
     pub(crate) files: FileTable,
-    pub(crate) txns: HashMap<TxnId, Txn>,
+    /// Live transactions, keyed by the bump-allocated [`TxnId`]: a dense
+    /// sliding-window table whose base acts as a generation check, so a
+    /// completion for a retired transaction reads as absent instead of
+    /// aliasing a live one (see [`TxnTable`]).
+    pub(crate) txns: TxnTable,
     pub(crate) running: Option<TxnId>,
     /// Committing-transaction list, in commit order (§4.2).
     pub(crate) committing: Vec<TxnId>,
@@ -207,8 +214,6 @@ pub struct Filesystem {
     /// Journal blocks held by non-checkpointed transactions.
     pub(crate) journal_used: u64,
     pub(crate) journal_stalled: bool,
-    /// Outstanding checkpoint writes per transaction.
-    pub(crate) checkpoints_left: HashMap<TxnId, usize>,
     /// A TxnFlush request is in flight.
     pub(crate) flush_inflight: bool,
     /// A transferred transaction gained durability waiters while a flush
@@ -227,12 +232,25 @@ impl Filesystem {
     /// Creates a filesystem with the given configuration. `meta_blocks`
     /// bounds how many files can ever be created.
     pub fn new(cfg: FsConfig) -> Filesystem {
+        Filesystem::with_txn_table(cfg, TxnTable::dense())
+    }
+
+    /// Creates a filesystem whose transaction table is the `HashMap`
+    /// reference backend. Exists so equivalence tests can drive the dense
+    /// and map-backed journals through identical syscall traces; not for
+    /// production use.
+    #[doc(hidden)]
+    pub fn new_with_map_txn_table(cfg: FsConfig) -> Filesystem {
+        Filesystem::with_txn_table(cfg, TxnTable::map_reference())
+    }
+
+    fn with_txn_table(cfg: FsConfig, txns: TxnTable) -> Filesystem {
         cfg.validate();
         let layout = Layout::new(65_536, cfg.journal_blocks);
         Filesystem {
             layout,
             files: FileTable::new(),
-            txns: HashMap::new(),
+            txns,
             running: None,
             committing: Vec::new(),
             next_txn: 1,
@@ -243,7 +261,6 @@ impl Filesystem {
             next_req: 1,
             journal_used: 0,
             journal_stalled: false,
-            checkpoints_left: HashMap::new(),
             flush_inflight: false,
             flush_again: false,
             records: Vec::new(),
@@ -302,8 +319,7 @@ impl Filesystem {
     pub fn unlink(&mut self, _tid: ThreadId, file: FileId, out: &mut ActionSink<FsAction>) {
         let f = self.files.get_mut(file);
         f.live = false;
-        let dropped = f.dirty_data.len() as u64;
-        f.dirty_data.clear();
+        let dropped = f.dirty_data.clear() as u64;
         f.alloc_dirty = true;
         self.dirty_total = self.dirty_total.saturating_sub(dropped);
         let tag = self.layout.next_tag();
@@ -352,14 +368,10 @@ impl Filesystem {
                     // conflict-page list and proceed without blocking.
                     let inode = self.files.get(file).inode_lba;
                     self.conflicts.add(inode, file, holder);
-                } else {
+                } else if let Some(t) = self.txns.get_mut(holder) {
                     // Legacy journaling: the writer blocks until the
                     // committing transaction releases the buffer.
-                    self.txns
-                        .get_mut(&holder)
-                        .expect("holder txn")
-                        .conflict_waiters
-                        .push(tid);
+                    t.conflict_waiters.push(tid);
                     self.syscalls.set(
                         tid,
                         SyscallState::AwaitConflict {
@@ -380,7 +392,7 @@ impl Filesystem {
         }
         for b in offset..offset + blocks {
             let tag = self.layout.next_tag();
-            if self.files.get_mut(file).dirty_data.insert(b, tag).is_none() {
+            if self.files.get_mut(file).dirty_data.insert(b, tag) {
                 self.dirty_total += 1;
             }
         }
@@ -411,7 +423,7 @@ impl Filesystem {
     /// file's inode buffer, if any.
     fn committing_holder(&self, file: FileId) -> Option<TxnId> {
         let t = self.files.get(file).txn?;
-        let txn = self.txns.get(&t)?;
+        let txn = self.txns.get(t)?;
         match txn.state {
             TxnState::Running => None,
             _ if self.committing.contains(&t) => Some(t),
@@ -428,10 +440,9 @@ impl Filesystem {
         out: &mut ActionSink<FsAction>,
     ) {
         let rt = self.ensure_running(out);
-        self.txns
-            .get_mut(&rt)
-            .expect("running txn")
-            .add_buffer(inode_lba, file, tag);
+        if let Some(t) = self.txns.get_mut(rt) {
+            t.add_buffer(inode_lba, file, tag);
+        }
         self.files.get_mut(file).txn = Some(rt);
     }
 
@@ -452,7 +463,7 @@ impl Filesystem {
 
     /// Takes the file's dirty pages and submits them as write requests
     /// (contiguous runs become single requests). Returns the request ids
-    /// and the `(lba, tag)` pairs submitted.
+    /// and the `(lba, tag)` pairs submitted, sorted by LBA.
     pub(crate) fn submit_dirty_data(
         &mut self,
         tid: ThreadId,
@@ -461,42 +472,63 @@ impl Filesystem {
         barrier_on_last: bool,
         out: &mut ActionSink<FsAction>,
     ) -> (Vec<ReqId>, Vec<(Lba, BlockTag)>) {
-        let dirty: Vec<(u64, BlockTag)> = {
+        // Drain the dirty runs and resolve them to LBA segments, splitting
+        // a run where its blocks cross an extent boundary. Segments are
+        // disjoint LBA ranges, so sorting them by start is the same order a
+        // per-block sort would produce — request formation is byte-for-byte
+        // what the per-block map implementation emitted.
+        let runs = {
             let f = self.files.get_mut(file);
-            let d: Vec<(u64, BlockTag)> = f.dirty_data.iter().map(|(&b, &t)| (b, t)).collect();
-            f.dirty_data.clear();
-            self.dirty_total = self.dirty_total.saturating_sub(d.len() as u64);
-            d
+            let runs = f.dirty_data.take_runs();
+            let n: usize = runs.iter().map(|(_, tags)| tags.len()).sum();
+            self.dirty_total = self.dirty_total.saturating_sub(n as u64);
+            runs
         };
-        // Resolve to LBAs and split into contiguous runs.
-        let mut pairs: Vec<(Lba, BlockTag)> = dirty
-            .iter()
-            .map(|&(b, t)| {
-                let f = self.files.get_mut(file);
+        let mut segs: Vec<(Lba, Vec<BlockTag>)> = Vec::new();
+        for (start, tags) in runs {
+            let f = self.files.get_mut(file);
+            let mut seg: Option<(Lba, Vec<BlockTag>)> = None;
+            for (i, tag) in tags.into_iter().enumerate() {
+                let b = start + i as u64;
                 f.committed_blocks.insert(b, ());
-                (f.lba_of(b).expect("dirty page must be allocated"), t)
-            })
-            .collect();
-        pairs.sort_by_key(|(l, _)| *l);
-        let mut reqs = Vec::new();
-        let mut i = 0;
-        while i < pairs.len() {
-            let mut j = i + 1;
-            while j < pairs.len() && pairs[j].0 .0 == pairs[j - 1].0 .0 + 1 {
-                j += 1;
+                let lba = f.lba_of(b).expect("dirty page must be allocated");
+                match &mut seg {
+                    Some((s, ts)) if lba.0 == s.0 + ts.len() as u64 => ts.push(tag),
+                    _ => {
+                        segs.extend(seg.take());
+                        seg = Some((lba, vec![tag]));
+                    }
+                }
             }
-            let start = pairs[i].0;
-            let tags: Vec<BlockTag> = pairs[i..j].iter().map(|(_, t)| *t).collect();
+            segs.extend(seg);
+        }
+        segs.sort_by_key(|(l, _)| *l);
+        // Coalesce segments that are LBA-adjacent across runs/extents.
+        let mut merged: Vec<(Lba, Vec<BlockTag>)> = Vec::with_capacity(segs.len());
+        for (start, tags) in segs {
+            match merged.last_mut() {
+                Some((s, ts)) if start.0 == s.0 + ts.len() as u64 => ts.extend(tags),
+                _ => merged.push((start, tags)),
+            }
+        }
+        let mut pairs: Vec<(Lba, BlockTag)> = Vec::new();
+        let mut reqs = Vec::with_capacity(merged.len());
+        let last = merged.len();
+        for (i, (start, tags)) in merged.into_iter().enumerate() {
+            pairs.extend(
+                tags.iter()
+                    .enumerate()
+                    .map(|(j, t)| (start.offset(j as u64), *t)),
+            );
             let rid = self.alloc_req(Purpose::Data(tid));
             self.stats.data_blocks += tags.len() as u64;
             let mut f = flags;
-            if barrier_on_last && j == pairs.len() {
+            if barrier_on_last && i + 1 == last {
                 f.barrier = true;
                 f.ordered = true;
             }
             out.push(FsAction::Submit(BlockRequest::write(rid, start, tags, f)));
             reqs.push(rid);
-            i = j;
         }
         (reqs, pairs)
     }
@@ -613,23 +645,19 @@ impl Filesystem {
     ) -> SyscallOutcome {
         // Wait on an in-flight commit holding this inode.
         if let Some(holder) = self.committing_holder(file) {
-            self.txns
-                .get_mut(&holder)
-                .expect("holder")
-                .durable_waiters
-                .push(tid);
-            self.syscalls
-                .set(tid, SyscallState::AwaitTxnDurable { txn: holder });
-            return SyscallOutcome::Blocked;
+            if let Some(t) = self.txns.get_mut(holder) {
+                t.durable_waiters.push(tid);
+                self.syscalls
+                    .set(tid, SyscallState::AwaitTxnDurable { txn: holder });
+                return SyscallOutcome::Blocked;
+            }
         }
         if self.files.get(file).metadata_dirty(datasync) {
             let rt = self.ensure_running(out);
             // The inode is in the running transaction (dirtied at write).
-            self.txns
-                .get_mut(&rt)
-                .expect("running")
-                .durable_waiters
-                .push(tid);
+            if let Some(t) = self.txns.get_mut(rt) {
+                t.durable_waiters.push(tid);
+            }
             self.trigger_commit(rt, out);
             self.syscalls
                 .set(tid, SyscallState::AwaitTxnDurable { txn: rt });
@@ -668,11 +696,9 @@ impl Filesystem {
                 self.note_ordered_data(&pairs);
             }
             let rt = self.ensure_running(out);
-            self.txns
-                .get_mut(&rt)
-                .expect("running")
-                .durable_waiters
-                .push(tid);
+            if let Some(t) = self.txns.get_mut(rt) {
+                t.durable_waiters.push(tid);
+            }
             self.trigger_commit(rt, out);
             self.syscalls
                 .set(tid, SyscallState::AwaitTxnDurable { txn: rt });
@@ -685,8 +711,7 @@ impl Filesystem {
                 let (_, pairs) = self.submit_dirty_data(tid, file, ReqFlags::ORDERED, true, out);
                 self.note_ordered_data(&pairs);
             }
-            self.await_txn_durable(tid, holder, out);
-            return SyscallOutcome::Blocked;
+            return self.await_txn_durable(tid, holder, out);
         }
         if has_dirty {
             // Degenerate path: D is its own epoch (barrier on the last
@@ -706,11 +731,9 @@ impl Filesystem {
         // Nothing dirty at all: force a journal commit to delimit an epoch
         // and provide durability (§4.2).
         let rt = self.ensure_running(out);
-        self.txns
-            .get_mut(&rt)
-            .expect("running")
-            .durable_waiters
-            .push(tid);
+        if let Some(t) = self.txns.get_mut(rt) {
+            t.durable_waiters.push(tid);
+        }
         self.stats.forced_commits += 1;
         self.trigger_commit(rt, out);
         self.syscalls
@@ -741,11 +764,9 @@ impl Filesystem {
                 self.note_ordered_data(&pairs);
             }
             let rt = self.ensure_running(out);
-            self.txns
-                .get_mut(&rt)
-                .expect("running")
-                .dispatch_waiters
-                .push(tid);
+            if let Some(t) = self.txns.get_mut(rt) {
+                t.dispatch_waiters.push(tid);
+            }
             self.trigger_commit(rt, out);
             self.syscalls
                 .set(tid, SyscallState::AwaitTxnDispatch { txn: rt });
@@ -768,24 +789,34 @@ impl Filesystem {
 
     /// Registers `tid` as a durability waiter of `txn`, arranging a flush
     /// if the transaction is past the point where one would happen.
+    /// Returns `Blocked` (a `Wake` will follow) in the normal case.
+    ///
+    /// A transaction that raced to retirement (or durability) between the
+    /// caller's check and this registration returns `Done` instead: the
+    /// condition the caller wanted to wait for already holds, so the
+    /// syscall completes without sleeping — emitting a mid-syscall `Wake`
+    /// here would reach the embedding stack before it has marked the
+    /// thread as in-syscall, and leaving the waiter registered on a
+    /// retired transaction would strand the thread forever.
     pub(crate) fn await_txn_durable(
         &mut self,
         tid: ThreadId,
         txn: TxnId,
         out: &mut ActionSink<FsAction>,
-    ) {
-        let state = self.txns.get(&txn).expect("txn").state;
-        debug_assert!(state < TxnState::Durable, "awaiting already-durable txn");
-        self.txns
-            .get_mut(&txn)
-            .expect("txn")
-            .durable_waiters
-            .push(tid);
-        if state == TxnState::Transferred {
-            self.request_txn_flush(out);
+    ) -> SyscallOutcome {
+        match self.txns.get_mut(txn) {
+            Some(t) if t.state < TxnState::Durable => {
+                let state = t.state;
+                t.durable_waiters.push(tid);
+                if state == TxnState::Transferred {
+                    self.request_txn_flush(out);
+                }
+                self.syscalls
+                    .set(tid, SyscallState::AwaitTxnDurable { txn });
+                SyscallOutcome::Blocked
+            }
+            _ => SyscallOutcome::Done,
         }
-        self.syscalls
-            .set(tid, SyscallState::AwaitTxnDurable { txn });
     }
 
     /// Records data pages that must precede the next commit (ordered-mode
@@ -797,11 +828,9 @@ impl Filesystem {
         let mut scratch = ActionSink::new();
         let rt = self.ensure_running(&mut scratch);
         debug_assert!(scratch.is_empty());
-        self.txns
-            .get_mut(&rt)
-            .expect("running")
-            .ordered_data
-            .extend_from_slice(pairs);
+        if let Some(t) = self.txns.get_mut(rt) {
+            t.ordered_data.extend_from_slice(pairs);
+        }
     }
 
     /// Removes a thread's syscall-state entry (it completed).
@@ -860,7 +889,7 @@ impl Filesystem {
     ) -> SyscallOutcome {
         let f = self.files.get(file);
         let cached = (offset..offset + blocks)
-            .all(|b| f.dirty_data.contains_key(&b) || f.committed_blocks.contains_key(&b));
+            .all(|b| f.dirty_data.contains(b) || f.committed_blocks.contains_key(&b));
         if cached {
             return SyscallOutcome::Done;
         }
@@ -1018,14 +1047,9 @@ impl Filesystem {
                 continue;
             }
             // Writing back data pages does not commit metadata; take up to
-            // `budget` pages.
-            let taken: Vec<(u64, BlockTag)> = {
-                let f = self.files.get_mut(id);
-                let keys: Vec<u64> = f.dirty_data.keys().copied().take(budget).collect();
-                keys.iter()
-                    .filter_map(|b| f.dirty_data.remove(b).map(|t| (*b, t)))
-                    .collect()
-            };
+            // `budget` pages (lowest block first, as the map-keyed
+            // implementation did).
+            let taken: Vec<(u64, BlockTag)> = self.files.get_mut(id).dirty_data.take_blocks(budget);
             budget = budget.saturating_sub(taken.len());
             self.dirty_total = self.dirty_total.saturating_sub(taken.len() as u64);
             for (b, tag) in taken {

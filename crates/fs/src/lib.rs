@@ -44,8 +44,9 @@ mod txn;
 
 pub use bio_sim::ActionSink;
 pub use config::{FsConfig, FsMode};
-pub use file::{File, FileId, FileTable};
+pub use file::{DirtyTracker, File, FileId, FileTable};
 pub use fs::{Filesystem, FsAction, FsEvent, FsStats, SyscallOutcome};
+pub use journal::JournalError;
 pub use layout::Layout;
 pub use recovery::{check_crash_consistency, FsViolation, TxnRecord};
-pub use txn::{ConflictEntry, ConflictList, ThreadId, Txn, TxnId, TxnState};
+pub use txn::{ConflictEntry, ConflictList, ThreadId, Txn, TxnId, TxnState, TxnTable};

@@ -1,0 +1,260 @@
+//! Equivalence suite locking the dense `SeqTable<Txn>` journal to the
+//! original `HashMap` transaction table.
+//!
+//! Both backends (`Filesystem::new` = dense, the hidden
+//! `Filesystem::new_with_map_txn_table` = map reference) are driven
+//! through identical random syscall traces under a deterministic
+//! mini event loop, and every observable — the full timed action log,
+//! aggregate statistics, and the ground-truth transaction records the
+//! crash checker consumes — must match byte for byte. The journal only
+//! ever iterates its table with order-insensitive folds, so any
+//! divergence means the dense migration changed commit semantics.
+
+use bio_fs::{
+    ActionSink, Filesystem, FsAction, FsConfig, FsEvent, FsMode, SyscallOutcome, ThreadId,
+};
+use bio_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const THREADS: u32 = 4;
+const REQ_LATENCY: SimDuration = SimDuration::from_micros(80);
+
+/// One generated syscall: `(op, file, offset, blocks, burst)`.
+type OpTuple = (u8, u8, u64, u64, u8);
+
+/// Deterministic mini event loop around one filesystem instance.
+struct Driver {
+    fs: Filesystem,
+    /// Pending `(time, seq, event)`; popped in `(time, seq)` order.
+    pending: Vec<(u128, u64, FsEvent)>,
+    next_seq: u64,
+    now: SimTime,
+    free: Vec<ThreadId>,
+    /// Timed log of everything the filesystem emitted.
+    log: Vec<String>,
+}
+
+impl Driver {
+    fn new(fs: Filesystem) -> Driver {
+        Driver {
+            fs,
+            pending: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            free: (0..THREADS).map(ThreadId).collect(),
+            log: Vec::new(),
+        }
+    }
+
+    fn absorb(&mut self, out: &mut ActionSink<FsAction>) {
+        let actions: Vec<FsAction> = out.iter().cloned().collect();
+        out.clear();
+        for a in actions {
+            self.log.push(format!("{:?} {:?}", self.now, a));
+            match a {
+                FsAction::Submit(r) => {
+                    let at = (self.now + REQ_LATENCY).as_nanos() as u128;
+                    self.pending
+                        .push((at, self.next_seq, FsEvent::ReqDone(r.id)));
+                    self.next_seq += 1;
+                }
+                FsAction::After(d, ev) => {
+                    let at = (self.now + d).as_nanos() as u128;
+                    self.pending.push((at, self.next_seq, ev));
+                    self.next_seq += 1;
+                }
+                FsAction::Wake(tid) => {
+                    if !self.free.contains(&tid) {
+                        self.free.push(tid);
+                    }
+                }
+                FsAction::CtxSwitch(_) => {}
+            }
+        }
+    }
+
+    /// Handles the earliest pending event; false when none remain.
+    fn step(&mut self) -> bool {
+        let Some(best) = (0..self.pending.len()).min_by_key(|&i| {
+            let (t, s, _) = self.pending[i];
+            (t, s)
+        }) else {
+            return false;
+        };
+        let (t, _, ev) = self.pending.remove(best);
+        self.now = SimTime::from_nanos(t as u64);
+        let mut out = ActionSink::new();
+        self.fs.handle(ev, self.now, &mut out);
+        self.absorb(&mut out);
+        true
+    }
+
+    /// Claims a free thread, draining events until one frees up.
+    fn claim_thread(&mut self) -> ThreadId {
+        loop {
+            if let Some(tid) = self.free.pop() {
+                return tid;
+            }
+            assert!(
+                self.step(),
+                "all threads blocked with no pending events: lost wake"
+            );
+        }
+    }
+
+    fn drain(&mut self) {
+        let mut guard = 0;
+        while self.step() {
+            guard += 1;
+            assert!(guard < 100_000, "event loop failed to quiesce");
+        }
+    }
+}
+
+/// Runs one full trace against a filesystem and returns its observables.
+fn run_trace(mut fs: Filesystem, ops: &[OpTuple]) -> (Vec<String>, String, String) {
+    let mut out = ActionSink::new();
+    let files = [
+        fs.create(ThreadId(0), &mut out),
+        fs.create(ThreadId(0), &mut out),
+        fs.create(ThreadId(0), &mut out),
+    ];
+    let mut d = Driver::new(fs);
+    d.absorb(&mut out);
+    for &(op, file_sel, offset, blocks, burst) in ops {
+        let file = files[(file_sel % 3) as usize];
+        let tid = d.claim_thread();
+        let mut out = ActionSink::new();
+        let now = d.now;
+        let outcome = match op % 7 {
+            // Writes dominate so transactions actually fill up.
+            0 | 1 => {
+                d.fs.write(tid, file, offset % 48, 1 + blocks % 4, now, &mut out)
+            }
+            2 => d.fs.fsync(tid, file, now, &mut out),
+            3 => d.fs.fdatasync(tid, file, now, &mut out),
+            4 => d.fs.fbarrier(tid, file, now, &mut out),
+            5 => d.fs.fdatabarrier(tid, file, now, &mut out),
+            _ => d.fs.read(tid, file, offset % 64, 1 + blocks % 2, &mut out),
+        };
+        d.log
+            .push(format!("{:?} op{} -> {:?}", now, op % 7, outcome));
+        if outcome == SyscallOutcome::Done {
+            d.free.push(tid);
+        }
+        d.absorb(&mut out);
+        // Interleave: let a random-sized burst of completions land before
+        // the next syscall so commits overlap with new work.
+        for _ in 0..burst % 4 {
+            if !d.step() {
+                break;
+            }
+        }
+    }
+    d.drain();
+    let stats = format!("{:?}", d.fs.stats());
+    let records = format!("{:?}", d.fs.records());
+    (d.log, stats, records)
+}
+
+fn mode_of(sel: u8) -> FsMode {
+    match sel % 4 {
+        0 => FsMode::Ext4,
+        1 => FsMode::Ext4NoBarrier,
+        2 => FsMode::BarrierFs,
+        _ => FsMode::OptFs,
+    }
+}
+
+fn cfg(mode: FsMode) -> FsConfig {
+    // A 1 µs tick makes every sync re-dirty metadata, maximising commit
+    // traffic through the transaction table.
+    FsConfig::new(mode).with_timer_tick(SimDuration::from_micros(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The dense-table journal and the map-table journal produce identical
+    /// action logs, statistics and transaction records on random syscall
+    /// traces across all four filesystem modes.
+    #[test]
+    fn dense_journal_matches_map_journal(
+        mode_sel in 0u8..4,
+        ops in prop::collection::vec(
+            (0u8..7, 0u8..3, 0u64..48, 0u64..4, 0u8..4),
+            5..60,
+        )
+    ) {
+        let mode = mode_of(mode_sel);
+        let dense = run_trace(Filesystem::new(cfg(mode)), &ops);
+        let map = run_trace(Filesystem::new_with_map_txn_table(cfg(mode)), &ops);
+        prop_assert_eq!(&dense.0, &map.0, "action logs diverge ({:?})", mode);
+        prop_assert_eq!(&dense.1, &map.1, "stats diverge ({:?})", mode);
+        prop_assert_eq!(&dense.2, &map.2, "records diverge ({:?})", mode);
+    }
+
+    /// The run-based dirty tracker agrees with a per-block `BTreeMap`
+    /// model over random insert/overwrite/budgeted-take/drain workloads.
+    #[test]
+    fn dirty_tracker_matches_btreemap_model(
+        ops in prop::collection::vec((0u8..6, 0u64..48, 0u64..16), 1..120)
+    ) {
+        use bio_fs::DirtyTracker;
+        use bio_flash::BlockTag;
+        use std::collections::BTreeMap;
+
+        let mut dense = DirtyTracker::new();
+        let mut model: BTreeMap<u64, BlockTag> = BTreeMap::new();
+        let mut tag = 1u64;
+        for (op, block, n) in ops {
+            match op {
+                // Inserts dominate so runs form and merge.
+                0..=3 => {
+                    let newly = dense.insert(block, BlockTag(tag));
+                    let model_newly = model.insert(block, BlockTag(tag)).is_none();
+                    prop_assert_eq!(newly, model_newly, "insert disagreement at {}", block);
+                    tag += 1;
+                }
+                4 => {
+                    let taken = dense.take_blocks(n as usize);
+                    let keys: Vec<u64> = model.keys().copied().take(n as usize).collect();
+                    let expect: Vec<(u64, BlockTag)> = keys
+                        .iter()
+                        .filter_map(|b| model.remove(b).map(|t| (*b, t)))
+                        .collect();
+                    prop_assert_eq!(&taken, &expect, "budgeted take diverges");
+                }
+                _ => {
+                    let runs = dense.take_runs();
+                    let flat: Vec<(u64, BlockTag)> = runs
+                        .iter()
+                        .flat_map(|(s, tags)| {
+                            tags.iter().enumerate().map(move |(i, t)| (s + i as u64, *t))
+                        })
+                        .collect();
+                    let expect: Vec<(u64, BlockTag)> =
+                        model.iter().map(|(&b, &t)| (b, t)).collect();
+                    model.clear();
+                    prop_assert_eq!(&flat, &expect, "full drain diverges");
+                    // Runs must be maximal: consecutive runs never touch.
+                    for w in runs.windows(2) {
+                        prop_assert!(
+                            (w[0].0 + w[0].1.len() as u64) < w[1].0,
+                            "adjacent runs were not merged"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(dense.len(), model.len());
+            prop_assert_eq!(dense.is_empty(), model.is_empty());
+            let dense_all: Vec<(u64, BlockTag)> = dense.iter().collect();
+            let model_all: Vec<(u64, BlockTag)> = model.iter().map(|(&b, &t)| (b, t)).collect();
+            prop_assert_eq!(dense_all, model_all, "iteration order diverges");
+            for b in 0..50u64 {
+                prop_assert_eq!(dense.tag_at(b), model.get(&b).copied());
+                prop_assert_eq!(dense.contains(b), model.contains_key(&b));
+            }
+        }
+    }
+}

@@ -56,5 +56,5 @@ pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use sink::ActionSink;
 pub use stats::{mean_f64, Counter, LatencyHistogram, LatencySummary};
-pub use table::{PagedMap, SeqTable};
+pub use table::{PagedMap, SeqTable, SeqTableIter};
 pub use time::{SimDuration, SimTime};

@@ -256,11 +256,44 @@ impl<T> SeqTable<T> {
     }
 
     /// Iterates over `(key, &entry)` pairs in key (= allocation) order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
+    ///
+    /// The iterator is a named type ([`SeqTableIter`]) so containers that
+    /// wrap a `SeqTable` behind another enum (e.g. a dual-backend table
+    /// used for equivalence testing) can embed it without boxing.
+    pub fn iter(&self) -> SeqTableIter<'_, T> {
+        SeqTableIter {
+            inner: self.slots.iter().enumerate(),
+            base: self.base,
+        }
+    }
+
+    /// Iterates over `(key, &mut entry)` pairs in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut T)> + '_ {
+        let base = self.base;
         self.slots
-            .iter()
+            .iter_mut()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (self.base + i as u64, v)))
+            .filter_map(move |(i, s)| s.as_mut().map(|v| (base + i as u64, v)))
+    }
+}
+
+/// Key-ordered iterator over a [`SeqTable`]'s live entries.
+#[derive(Debug)]
+pub struct SeqTableIter<'a, T> {
+    inner: std::iter::Enumerate<std::collections::vec_deque::Iter<'a, Option<T>>>,
+    base: u64,
+}
+
+impl<'a, T> Iterator for SeqTableIter<'a, T> {
+    type Item = (u64, &'a T);
+
+    fn next(&mut self) -> Option<(u64, &'a T)> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(v) = slot.as_ref() {
+                return Some((self.base + i as u64, v));
+            }
+        }
+        None
     }
 }
 
@@ -352,6 +385,22 @@ mod tests {
             m.insert(1 << 32, 2);
         }));
         assert!(huge.is_err(), "out-of-range insert must panic, not OOM");
+    }
+
+    #[test]
+    fn iter_mut_visits_live_entries_in_key_order() {
+        let mut t = SeqTable::new();
+        for k in 3..8u64 {
+            t.insert(k, k);
+        }
+        t.remove(5);
+        for (k, v) in t.iter_mut() {
+            *v = k * 10;
+        }
+        assert_eq!(
+            t.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>(),
+            vec![(3, 30), (4, 40), (6, 60), (7, 70)]
+        );
     }
 
     #[test]

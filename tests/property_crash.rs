@@ -1,11 +1,25 @@
 //! Property-based crash-consistency tests: random workloads, random crash
 //! points — the barrier-enabled stack must never violate storage order or
 //! a durability promise, on any device profile that honours barriers.
+//!
+//! Cases are generated exactly as the `proptest!` macro would — the same
+//! per-`(test, case)` deterministic RNG and the same strategies, so the
+//! case inputs are unchanged — but their bodies run as cells on the
+//! [`ExperimentGrid`] worker pool instead of serially. Each cell catches
+//! unwinds, so a panicking case body is an ordinary failure; results come
+//! back in case order and the *lowest* failing case is reported with the
+//! same message the serial runner would print. Output is byte-identical
+//! to a serial run (panicking cases additionally emit the standard hook's
+//! stderr line at panic time, as they would serially); only the
+//! wall-clock differs.
 
 use barrier_io::{
     BarrierMode, DeviceProfile, FileRef, FnWorkload, IoStack, Op, SimDuration, StackConfig,
 };
-use proptest::prelude::*;
+use bio_bench::ExperimentGrid;
+use proptest::collection;
+use proptest::strategy::Strategy;
+use proptest::test_runner::TestRng;
 
 /// A randomly generated op for the property workload.
 fn arb_op() -> impl Strategy<Value = u8> {
@@ -66,73 +80,167 @@ fn crash_consistent(
     (crash.fs_violations.len(), crash.epoch_violations.len())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// One generated case: the op stream, the stack seed, the crash point.
+type Case = (Vec<u8>, u64, u64);
 
-    /// BarrierFS over a barrier-compliant device: every random workload,
-    /// every random crash point, zero violations.
-    #[test]
-    fn barrierfs_never_violates(
-        ops in prop::collection::vec(arb_op(), 10..120),
-        seed in 0u64..1000,
-        crash_ms in 0u64..40,
-    ) {
-        let (fs_v, epoch_v) =
-            crash_consistent(BarrierMode::LfsInOrderRecovery, true, ops, seed, crash_ms);
-        prop_assert_eq!(fs_v, 0, "filesystem violations");
-        prop_assert_eq!(epoch_v, 0, "device epoch violations");
-    }
-
-    /// Same property under the in-order writeback engine.
-    #[test]
-    fn in_order_writeback_never_violates(
-        ops in prop::collection::vec(arb_op(), 10..80),
-        seed in 0u64..1000,
-        crash_ms in 0u64..30,
-    ) {
-        let (fs_v, epoch_v) =
-            crash_consistent(BarrierMode::InOrderWriteback, true, ops, seed, crash_ms);
-        prop_assert_eq!(fs_v, 0);
-        prop_assert_eq!(epoch_v, 0);
-    }
-
-    /// Same property under transactional writeback.
-    #[test]
-    fn transactional_writeback_never_violates(
-        ops in prop::collection::vec(arb_op(), 10..80),
-        seed in 0u64..1000,
-        crash_ms in 0u64..30,
-    ) {
-        let (fs_v, epoch_v) =
-            crash_consistent(BarrierMode::Transactional, true, ops, seed, crash_ms);
-        prop_assert_eq!(fs_v, 0);
-        prop_assert_eq!(epoch_v, 0);
-    }
-
-    /// Legacy EXT4 with full flushes is also always consistent — the
-    /// paper's claim is about cost, not correctness.
-    #[test]
-    fn ext4_full_flush_never_violates(
-        ops in prop::collection::vec(arb_op(), 10..80),
-        seed in 0u64..1000,
-        crash_ms in 0u64..30,
-    ) {
-        let (fs_v, _) =
-            crash_consistent(BarrierMode::LfsInOrderRecovery, false, ops, seed, crash_ms);
-        prop_assert_eq!(fs_v, 0);
+/// Runs a case body, converting a panic into an ordinary `Err` so the
+/// grid's ordered reporting (lowest failing case wins) also covers
+/// panicking regressions, not just violation counts.
+fn catch_case(
+    body: impl FnOnce() -> Result<(), String> + std::panic::UnwindSafe,
+) -> Result<(), String> {
+    match std::panic::catch_unwind(body) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("case body panicked: {msg}"))
+        }
     }
 }
 
-// Determinism meta-property: the same seed replays the same simulation.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn simulation_is_deterministic(
-        ops in prop::collection::vec(arb_op(), 10..60),
-        seed in 0u64..1000,
-    ) {
-        let a = crash_consistent(BarrierMode::LfsInOrderRecovery, true, ops.clone(), seed, 9);
-        let b = crash_consistent(BarrierMode::LfsInOrderRecovery, true, ops, seed, 9);
-        prop_assert_eq!(a, b);
+/// Generates `cases` inputs with the `proptest!` macro's deterministic
+/// per-`(test, case)` seeding, then runs the bodies on the experiment-grid
+/// worker pool. Fails on the lowest failing case index, mirroring the
+/// serial runner's report.
+fn run_sharded(
+    name: &'static str,
+    cases: u32,
+    ops_max: usize,
+    crash_ms_max: u64,
+    body: fn(Case) -> Result<(), String>,
+) {
+    let mut grid: ExperimentGrid<Result<(), String>> = ExperimentGrid::new();
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(name, case);
+        // Same strategies, generated in declaration order, as the original
+        // `proptest!` properties used.
+        let ops = collection::vec(arb_op(), 10..ops_max).generate(&mut rng);
+        let seed = (0u64..1000).generate(&mut rng);
+        let crash_ms = (0u64..crash_ms_max).generate(&mut rng);
+        grid.push(format!("{name}/case{case}"), move || {
+            catch_case(move || body((ops, seed, crash_ms)))
+        });
+    }
+    for (case, outcome) in grid.run().into_iter().enumerate() {
+        if let Err(e) = outcome {
+            panic!("proptest case {case} of {name} failed: {e}");
+        }
+    }
+}
+
+fn expect_zero(label: &str, got: usize) -> Result<(), String> {
+    if got == 0 {
+        Ok(())
+    } else {
+        Err(format!("{label}: expected 0 violations, got {got}"))
+    }
+}
+
+/// BarrierFS over a barrier-compliant device: every random workload,
+/// every random crash point, zero violations.
+#[test]
+fn barrierfs_never_violates() {
+    run_sharded(
+        "barrierfs_never_violates",
+        256,
+        120,
+        40,
+        |(ops, seed, crash_ms)| {
+            let (fs_v, epoch_v) =
+                crash_consistent(BarrierMode::LfsInOrderRecovery, true, ops, seed, crash_ms);
+            expect_zero("filesystem violations", fs_v)?;
+            expect_zero("device epoch violations", epoch_v)
+        },
+    );
+}
+
+/// Same property under the in-order writeback engine.
+#[test]
+fn in_order_writeback_never_violates() {
+    run_sharded(
+        "in_order_writeback_never_violates",
+        256,
+        80,
+        30,
+        |(ops, seed, crash_ms)| {
+            let (fs_v, epoch_v) =
+                crash_consistent(BarrierMode::InOrderWriteback, true, ops, seed, crash_ms);
+            expect_zero("filesystem violations", fs_v)?;
+            expect_zero("device epoch violations", epoch_v)
+        },
+    );
+}
+
+/// Same property under transactional writeback.
+#[test]
+fn transactional_writeback_never_violates() {
+    run_sharded(
+        "transactional_writeback_never_violates",
+        256,
+        80,
+        30,
+        |(ops, seed, crash_ms)| {
+            let (fs_v, epoch_v) =
+                crash_consistent(BarrierMode::Transactional, true, ops, seed, crash_ms);
+            expect_zero("filesystem violations", fs_v)?;
+            expect_zero("device epoch violations", epoch_v)
+        },
+    );
+}
+
+/// Legacy EXT4 with full flushes is also always consistent — the
+/// paper's claim is about cost, not correctness.
+#[test]
+fn ext4_full_flush_never_violates() {
+    run_sharded(
+        "ext4_full_flush_never_violates",
+        256,
+        80,
+        30,
+        |(ops, seed, crash_ms)| {
+            let (fs_v, _) =
+                crash_consistent(BarrierMode::LfsInOrderRecovery, false, ops, seed, crash_ms);
+            expect_zero("filesystem violations", fs_v)
+        },
+    );
+}
+
+/// Determinism meta-property: the same seed replays the same simulation.
+#[test]
+fn simulation_is_deterministic() {
+    let mut grid: ExperimentGrid<Result<(), String>> = ExperimentGrid::new();
+    for case in 0..32u32 {
+        let mut rng = TestRng::for_case("simulation_is_deterministic", case);
+        let ops = collection::vec(arb_op(), 10..60).generate(&mut rng);
+        let seed = (0u64..1000).generate(&mut rng);
+        grid.push(
+            format!("simulation_is_deterministic/case{case}"),
+            move || {
+                catch_case(move || {
+                    let a = crash_consistent(
+                        BarrierMode::LfsInOrderRecovery,
+                        true,
+                        ops.clone(),
+                        seed,
+                        9,
+                    );
+                    let b = crash_consistent(BarrierMode::LfsInOrderRecovery, true, ops, seed, 9);
+                    if a == b {
+                        Ok(())
+                    } else {
+                        Err(format!("replay diverged: {a:?} != {b:?}"))
+                    }
+                })
+            },
+        );
+    }
+    for (case, outcome) in grid.run().into_iter().enumerate() {
+        if let Err(e) = outcome {
+            panic!("proptest case {case} of simulation_is_deterministic failed: {e}");
+        }
     }
 }
