@@ -4,12 +4,25 @@
 //! regressions in the hot paths are caught).
 
 use barrier_io::{DeviceProfile, IoStack, SimDuration, StackConfig, Workload};
-use bio_workloads::{Dwsl, SyncMode};
+use bio_workloads::{Dwsl, SyncMode, Varmail};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn run_fsyncs(cfg: StackConfig, n: u64) -> u64 {
     let mut stack = IoStack::new(cfg);
     let mut holder = Some(Box::new(Dwsl::new(SyncMode::Fsync, n)) as Box<dyn Workload>);
+    stack.add_thread(holder.take().expect("workload"));
+    stack.run_until_done(SimDuration::from_secs(3600));
+    stack.device().stats().blocks_written
+}
+
+/// Many-file transactions: a *buffered* mail loop over a wide pool — no
+/// per-iteration sync, so the running transaction accumulates hundreds of
+/// distinct inode buffers between timer-tick commits. This is the
+/// workload where `Txn::add_buffer`'s dedup cost (linear scan vs
+/// sorted-index binary search) shows.
+fn run_many_file_commits(cfg: StackConfig) -> u64 {
+    let mut stack = IoStack::new(cfg);
+    let mut holder = Some(Box::new(Varmail::new(SyncMode::None, 6_000, 512)) as Box<dyn Workload>);
     stack.add_thread(holder.take().expect("workload"));
     stack.run_until_done(SimDuration::from_secs(3600));
     stack.device().stats().blocks_written
@@ -26,6 +39,9 @@ fn bench_commit_paths(c: &mut Criterion) {
     });
     g.bench_function("bfs_100_fsyncs_ufs", |b| {
         b.iter(|| run_fsyncs(StackConfig::bfs(DeviceProfile::ufs()), 100))
+    });
+    g.bench_function("bfs_many_file_txn_plain_ssd", |b| {
+        b.iter(|| run_many_file_commits(StackConfig::bfs(DeviceProfile::plain_ssd())))
     });
     g.finish();
 }

@@ -14,7 +14,8 @@
 use barrier_io::{DeviceProfile, FileRef, IoStack, OpKind, SimDuration, StackConfig, Workload};
 use bio_flash::BarrierMode;
 use bio_workloads::{
-    Dwsl, OltpInsert, RandWrite, Sqlite, SqliteJournalMode, SyncMode, Varmail, WriteMode,
+    Dwsl, MailQueue, OltpInsert, RandWrite, RocksDbWal, Sqlite, SqliteJournalMode, SyncMode,
+    Varmail, WriteMode,
 };
 
 use crate::{print_table, run_to_completion, run_windowed, run_windowed_stack, ExperimentGrid};
@@ -753,6 +754,136 @@ pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
     print_table(
         "Fig 15 — server workloads: varmail (iterations/s) and OLTP-insert (Tx/s)",
         &["device", "stack", "varmail it/s", "OLTP Tx/s"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 16 — new server workloads: throughput AND sync tail latency.
+// ---------------------------------------------------------------------
+
+/// One Fig 16 cell: throughput plus the sync-call latency tail.
+#[derive(Debug, Clone)]
+pub struct Fig16Cell {
+    /// Device name.
+    pub device: String,
+    /// Workload label (`rocksdb-wal` / `mail-queue`).
+    pub workload: &'static str,
+    /// Stack label.
+    pub stack: &'static str,
+    /// Application transactions per second.
+    pub txns_per_sec: f64,
+    /// Sync-call latency p50 / p95 / p99 in milliseconds (merged across
+    /// all four sync kinds).
+    pub sync_ms: [f64; 3],
+}
+
+/// Fig 16: the two post-paper server workloads (RocksDB-style WAL +
+/// compaction, mail-queue fsync storm) across the five stacks on two
+/// devices, reporting tail latency alongside throughput. Ordering-only
+/// stacks (BFS-OD, OptFS) win primarily on the latency columns: a
+/// barrier returns without waiting on transfer or flush, so the sync
+/// tail collapses even where throughput gains are modest.
+pub fn fig16(scale: u64) -> Vec<Fig16Cell> {
+    fn cell_stats(report: &barrier_io::StackReport) -> (f64, [f64; 3]) {
+        let s = report.run.sync_latency;
+        (
+            report.run.txns_per_sec(),
+            [
+                s.p50.as_millis_f64(),
+                s.p95.as_millis_f64(),
+                s.p99.as_millis_f64(),
+            ],
+        )
+    }
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
+    for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
+        let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
+            (
+                "EXT4-DR",
+                StackConfig::ext4_dr(dev.clone()),
+                SyncMode::Fdatasync,
+            ),
+            ("BFS-DR", StackConfig::bfs(dev.clone()), SyncMode::Fdatasync),
+            (
+                "OptFS",
+                StackConfig::optfs(dev.clone()),
+                SyncMode::Fdatabarrier,
+            ),
+            (
+                "EXT4-OD",
+                StackConfig::ext4_od(dev.clone()),
+                SyncMode::Fdatasync,
+            ),
+            (
+                "BFS-OD",
+                StackConfig::bfs(dev.clone()),
+                SyncMode::Fdatabarrier,
+            ),
+        ];
+        for (label, cfg, sync) in stacks {
+            // RocksDB-style WAL + compaction: 4 independent DB threads.
+            let puts = 300 * scale;
+            let rcfg = cfg.clone();
+            meta.push((dev.name.clone(), "rocksdb-wal", label));
+            grid.push(
+                format!("fig16/{}/{label}/rocksdb-wal", dev.name),
+                move || {
+                    let report = run_to_completion(
+                        rcfg,
+                        |_| Box::new(RocksDbWal::new(sync, puts)) as Box<dyn Workload>,
+                        4,
+                        SimDuration::ZERO,
+                        SimDuration::from_secs(3600),
+                    );
+                    cell_stats(&report)
+                },
+            );
+            // Mail-queue fsync storm: 8 queue-manager threads.
+            let msgs = 150 * scale;
+            meta.push((dev.name.clone(), "mail-queue", label));
+            grid.push(
+                format!("fig16/{}/{label}/mail-queue", dev.name),
+                move || {
+                    let report = run_to_completion(
+                        cfg,
+                        |_| Box::new(MailQueue::new(sync, msgs, 8)) as Box<dyn Workload>,
+                        8,
+                        SimDuration::ZERO,
+                        SimDuration::from_secs(3600),
+                    );
+                    cell_stats(&report)
+                },
+            );
+        }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for ((device, workload, stack), (tps, sync_ms)) in meta.into_iter().zip(results) {
+        rows.push(vec![
+            device.clone(),
+            workload.to_string(),
+            stack.to_string(),
+            format!("{tps:.0}"),
+            format!("{:.3}", sync_ms[0]),
+            format!("{:.3}", sync_ms[1]),
+            format!("{:.3}", sync_ms[2]),
+        ]);
+        out.push(Fig16Cell {
+            device,
+            workload,
+            stack,
+            txns_per_sec: tps,
+            sync_ms,
+        });
+    }
+    print_table(
+        "Fig 16 — RocksDB-WAL and mail-queue: Tx/s and sync-call latency (ms)",
+        &["device", "workload", "stack", "Tx/s", "p50", "p95", "p99"],
         &rows,
     );
     out

@@ -14,10 +14,8 @@
 //! * device completions are translated back into per-request completions
 //!   (a merged request completes every constituent bio).
 
-use std::collections::HashMap;
-
 use bio_flash::{CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
-use bio_sim::{ActionSink, SimDuration, SimTime};
+use bio_sim::{ActionSink, SeqTable, SimDuration, SimTime};
 
 use crate::epoch::EpochScheduler;
 use crate::request::{BlockRequest, MergedRequest, ReqId, ReqOp};
@@ -77,8 +75,11 @@ pub struct BlockLayer {
     sched: EpochScheduler,
     mode: DispatchMode,
     dev: Device,
-    /// Command in flight at the device, by command id.
-    inflight: HashMap<CmdId, Vec<ReqId>>,
+    /// Commands in flight at the device, keyed by the bump-allocated
+    /// [`CmdId`] (dense sliding-window table; commands complete roughly in
+    /// dispatch order, so the window stays narrow and a completion for an
+    /// already-retired id reads as absent instead of aliasing).
+    inflight: SeqTable<Vec<ReqId>>,
     /// A dispatched request the device bounced; retried on `Retry`.
     held: Option<MergedRequest>,
     retry_pending: bool,
@@ -99,7 +100,7 @@ impl BlockLayer {
             sched: EpochScheduler::new(base.build()),
             mode,
             dev,
-            inflight: HashMap::new(),
+            inflight: SeqTable::new(),
             held: None,
             retry_pending: false,
             next_cmd: 1,
@@ -175,7 +176,7 @@ impl BlockLayer {
             match self.dev.submit(cmd, now, &mut scratch) {
                 Ok(()) => {
                     self.stats.dispatched += 1;
-                    self.inflight.insert(cmd_id, ids);
+                    self.inflight.insert(cmd_id.0, ids);
                     self.apply_dev_actions(&mut scratch, now, out);
                 }
                 Err(_cmd) => {
@@ -227,10 +228,13 @@ impl BlockLayer {
         for a in actions.drain(..) {
             match a {
                 DevAction::Complete(c) => {
-                    let ids = self
-                        .inflight
-                        .remove(&c.id)
-                        .expect("completion for unknown command");
+                    // The sliding window makes a retired id read as
+                    // absent, so a duplicated or forged completion is
+                    // dropped instead of double-completing its bios.
+                    let Some(ids) = self.inflight.remove(c.id.0) else {
+                        debug_assert!(false, "completion for unknown command {:?}", c.id);
+                        continue;
+                    };
                     for rid in ids {
                         self.stats.completed += 1;
                         out.push(BlockAction::Complete(rid, c.at));

@@ -70,6 +70,20 @@ impl Metrics {
         self.ops.get(&kind)
     }
 
+    /// Merged latency distribution across all four sync kinds
+    /// (fsync/fdatasync/fbarrier/fdatabarrier) — the per-workload tail
+    /// each experiment reports alongside throughput. Merging histograms
+    /// (not summaries) keeps the percentiles exact across kinds.
+    pub fn sync_latency(&self) -> LatencySummary {
+        let mut merged = LatencyHistogram::new();
+        for kind in OpKind::SYNC {
+            if let Some(m) = self.ops.get(&kind) {
+                merged.merge(&m.latency);
+            }
+        }
+        merged.summary()
+    }
+
     /// Builds the final report.
     pub fn report(&self, now: SimTime) -> RunReport {
         let elapsed = now.saturating_since(self.started);
@@ -90,6 +104,7 @@ impl Metrics {
             elapsed,
             ops,
             txns: self.txns,
+            sync_latency: self.sync_latency(),
         }
     }
 }
@@ -116,6 +131,10 @@ pub struct RunReport {
     pub ops: Vec<OpReport>,
     /// Application transactions completed.
     pub txns: u64,
+    /// Merged latency distribution of all sync calls (issue →
+    /// completion), the tail-latency metric of the fig16 server
+    /// workloads; zeroed when the run performed no sync calls.
+    pub sync_latency: LatencySummary,
 }
 
 impl RunReport {
@@ -145,15 +164,7 @@ impl RunReport {
     /// Total synchronisation calls (fsync+fdatasync+fbarrier+fdatabarrier)
     /// per second — the journaling-throughput metric of Fig 13.
     pub fn syncs_per_sec(&self) -> f64 {
-        [
-            OpKind::Fsync,
-            OpKind::Fdatasync,
-            OpKind::Fbarrier,
-            OpKind::Fdatabarrier,
-        ]
-        .iter()
-        .map(|k| self.ops_per_sec(*k))
-        .sum()
+        OpKind::SYNC.iter().map(|k| self.ops_per_sec(*k)).sum()
     }
 }
 
@@ -206,6 +217,30 @@ mod tests {
         m.record_op(OpKind::Fdatabarrier, SimDuration::ZERO);
         let r = m.report(SimTime::from_secs(1));
         assert_eq!(r.syncs_per_sec(), 2.0);
+    }
+
+    #[test]
+    fn sync_latency_merges_all_sync_kinds() {
+        let mut m = Metrics::new();
+        m.reset(SimTime::ZERO);
+        m.record_op(OpKind::Fsync, SimDuration::from_micros(100));
+        m.record_op(OpKind::Fdatabarrier, SimDuration::from_micros(300));
+        // Non-sync latencies must not pollute the merge.
+        m.record_op(OpKind::Write, SimDuration::from_millis(50));
+        let s = m.report(SimTime::from_secs(1)).sync_latency;
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, SimDuration::from_micros(200));
+        assert_eq!(s.max, SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn sync_latency_is_zeroed_without_syncs() {
+        let mut m = Metrics::new();
+        m.reset(SimTime::ZERO);
+        m.record_op(OpKind::Write, SimDuration::from_micros(5));
+        let s = m.report(SimTime::from_secs(1)).sync_latency;
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, SimDuration::ZERO);
     }
 
     #[test]

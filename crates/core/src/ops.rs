@@ -134,6 +134,15 @@ impl OpKind {
         OpKind::TxnMark,
     ];
 
+    /// The four synchronisation kinds (durability and ordering flavours),
+    /// for sync-latency aggregation.
+    pub const SYNC: [OpKind; 4] = [
+        OpKind::Fsync,
+        OpKind::Fdatasync,
+        OpKind::Fbarrier,
+        OpKind::Fdatabarrier,
+    ];
+
     /// Short display name.
     pub fn name(self) -> &'static str {
         match self {

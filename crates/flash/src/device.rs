@@ -23,7 +23,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use bio_sim::{SeqTable, SimDuration, SimRng, SimTime, TimeSeries};
+use bio_sim::{RunSet, SeqTable, SimDuration, SimRng, SimTime, TimeSeries};
 
 use crate::cache::WritebackCache;
 use crate::chip::ChipArray;
@@ -85,10 +85,15 @@ enum DrainKind {
     Fua,
 }
 
+/// A pending-program set. The member keys are cache destage sequences —
+/// snapshotted in ascending order and retired one by one — so the set is
+/// a [`RunSet`] of sorted runs (usually exactly one), not a hash set:
+/// membership updates are a binary search over a handful of runs instead
+/// of a hash+probe per program completion.
 #[derive(Debug)]
 struct Drain {
     id: CmdId,
-    remaining: HashSet<u64>,
+    remaining: RunSet,
     kind: DrainKind,
 }
 
@@ -369,10 +374,11 @@ impl Device {
                         arrived,
                     },
                 );
-                let remaining: HashSet<u64> = if self.profile.plp {
-                    HashSet::new() // PLP: cache contents already durable
+                let remaining = if self.profile.plp {
+                    RunSet::new() // PLP: cache contents already durable
                 } else {
-                    self.cache.pending_seqs().into_iter().collect()
+                    // pending_seqs is ascending (cache slab key order).
+                    RunSet::from_sorted(self.cache.pending_seqs())
                 };
                 if remaining.is_empty() {
                     out.push(DevAction::After(
@@ -392,10 +398,10 @@ impl Device {
                 if needs_preflush {
                     // PLP: nothing to drain, but the flush round trip is
                     // still paid (t_eps of the paper's quick-flush).
-                    let remaining: HashSet<u64> = if self.profile.plp {
-                        HashSet::new()
+                    let remaining = if self.profile.plp {
+                        RunSet::new()
                     } else {
-                        self.cache.pending_seqs().into_iter().collect()
+                        RunSet::from_sorted(self.cache.pending_seqs())
                     };
                     if remaining.is_empty() {
                         // Even an empty preflush costs the controller
@@ -577,7 +583,8 @@ impl Device {
                 }
                 self.drains.push(Drain {
                     id,
-                    remaining: seqs.into_iter().collect(),
+                    // Sequences of one insert batch are consecutive.
+                    remaining: RunSet::from_sorted(seqs),
                     kind: DrainKind::Fua,
                 });
             } else {
@@ -741,7 +748,7 @@ impl Device {
         // Drain accounting (flushes, preflushes, FUA writes).
         let mut finished: Vec<(CmdId, DrainKind)> = Vec::new();
         self.drains.retain_mut(|d| {
-            d.remaining.remove(&seq);
+            d.remaining.remove(seq);
             if d.remaining.is_empty() {
                 finished.push((d.id, d.kind));
                 false

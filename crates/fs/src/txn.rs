@@ -49,8 +49,18 @@ pub struct Txn {
     /// State.
     pub state: TxnState,
     /// Metadata buffers: inode home LBA → (file, frozen content tag).
-    /// Tags are frozen at commit time.
+    /// Tags are frozen at commit time. Insertion order (= first-dirtied
+    /// order) is what the journal descriptor emits; mutate only through
+    /// [`Txn::add_buffer`], which maintains the sorted dedup index.
     pub buffers: Vec<(Lba, FileId, BlockTag)>,
+    /// Sorted `(lba, index into buffers)` pairs: the dedup lookup of
+    /// [`Txn::add_buffer`] is an O(log n) binary search instead of an
+    /// O(n) equality scan, while `buffers` keeps its order-preserving
+    /// layout. Fresh-LBA inserts still shift the sorted index (a plain
+    /// memmove of `(u64, u32)` pairs — far cheaper per element than the
+    /// scan's compare-per-entry, but not asymptotically better; a B-tree
+    /// would be the next step if transactions ever reach ~10^5 buffers).
+    buffer_index: Vec<(Lba, u32)>,
     /// OptFS selective data journaling: data home LBA → journaled tag.
     pub data_journal: Vec<(Lba, BlockTag)>,
     /// Data writes that must persist before this commit (ordered mode).
@@ -90,6 +100,7 @@ impl Txn {
             id,
             state: TxnState::Running,
             buffers: Vec::new(),
+            buffer_index: Vec::new(),
             data_journal: Vec::new(),
             ordered_data: Vec::new(),
             jd_lba: None,
@@ -106,13 +117,21 @@ impl Txn {
         }
     }
 
-    /// Adds or refreshes a metadata buffer.
+    /// Adds or refreshes a metadata buffer. Dedup is a binary search on
+    /// the sorted side index; a fresh buffer appends (insertion order is
+    /// what the commit path emits) and registers its position.
     pub fn add_buffer(&mut self, lba: Lba, file: FileId, tag: BlockTag) {
         debug_assert_eq!(self.state, TxnState::Running, "buffer into non-running txn");
-        if let Some(b) = self.buffers.iter_mut().find(|(l, _, _)| *l == lba) {
-            b.2 = tag;
-        } else {
-            self.buffers.push((lba, file, tag));
+        match self.buffer_index.binary_search_by_key(&lba, |&(l, _)| l) {
+            Ok(i) => {
+                let pos = self.buffer_index[i].1 as usize;
+                self.buffers[pos].2 = tag;
+            }
+            Err(i) => {
+                let pos = self.buffers.len() as u32;
+                self.buffers.push((lba, file, tag));
+                self.buffer_index.insert(i, (lba, pos));
+            }
         }
     }
 
@@ -324,6 +343,28 @@ mod tests {
         t.add_buffer(Lba(6), FileId(1), BlockTag(3));
         assert_eq!(t.buffers.len(), 2);
         assert_eq!(t.buffers[0].2, BlockTag(2), "refresh keeps latest tag");
+    }
+
+    #[test]
+    fn add_buffer_dedup_scales_and_preserves_insertion_order() {
+        let mut t = Txn::new(TxnId(1));
+        // Interleaved high/low LBAs: the side index sorts, the buffer
+        // list keeps first-dirtied order.
+        let lba_of = |i: u64| if i % 2 == 0 { 1000 - i } else { i };
+        for i in 0..500u64 {
+            t.add_buffer(Lba(lba_of(i)), FileId(0), BlockTag(i));
+        }
+        assert_eq!(t.buffers.len(), 500);
+        // Refresh every buffer in reverse order: no growth, latest tag
+        // wins, positions unchanged.
+        for i in (0..500u64).rev() {
+            t.add_buffer(Lba(lba_of(i)), FileId(0), BlockTag(9000 + i));
+        }
+        assert_eq!(t.buffers.len(), 500);
+        assert_eq!(t.buffers[0].0, Lba(1000), "insertion order preserved");
+        assert_eq!(t.buffers[0].2, BlockTag(9000), "refresh keeps latest tag");
+        assert_eq!(t.buffers[1].0, Lba(1));
+        assert_eq!(t.buffers[499].0, Lba(499));
     }
 
     #[test]

@@ -152,12 +152,15 @@ impl LatencyHistogram {
         SimDuration::from_nanos(self.max_ns)
     }
 
-    /// The five-number summary the paper's Table 1 reports.
+    /// The percentile summary: the paper's Table 1 shape (mean / median /
+    /// p99 / p99.9 / p99.99) plus p95 for the server-workload latency
+    /// tables (fig16).
     pub fn summary(&self) -> LatencySummary {
         LatencySummary {
             count: self.total,
             mean: self.mean(),
             p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
             p999: self.quantile(0.999),
             p9999: self.quantile(0.9999),
@@ -195,6 +198,8 @@ pub struct LatencySummary {
     pub mean: SimDuration,
     /// Median.
     pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
     /// 99th percentile.
     pub p99: SimDuration,
     /// 99.9th percentile.
@@ -209,8 +214,8 @@ impl fmt::Display for LatencySummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "n={} mean={} p50={} p99={} p99.9={} p99.99={} max={}",
-            self.count, self.mean, self.p50, self.p99, self.p999, self.p9999, self.max
+            "n={} mean={} p50={} p95={} p99={} p99.9={} p99.99={} max={}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.p999, self.p9999, self.max
         )
     }
 }
@@ -301,6 +306,7 @@ mod tests {
             assert!(err < 0.03, "q={q}: got {got}us want {expect_us}us");
         };
         check(0.5, 5_000.0);
+        check(0.95, 9_500.0);
         check(0.99, 9_900.0);
         check(0.999, 9_990.0);
     }

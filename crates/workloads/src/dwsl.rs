@@ -6,75 +6,64 @@
 use barrier_io::{FileRef, Op, Workload};
 use bio_sim::SimRng;
 
+use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
 
 /// Per-thread allocating-write + sync loop.
+///
+/// Two phases: `create` (the private file) and `append` (`writes`
+/// iterations of write + sync + transaction mark, each write extending
+/// the file by one block).
 #[derive(Debug, Clone)]
 pub struct Dwsl {
-    sync: SyncMode,
-    writes: u64,
-    issued: u64,
-    offset: u64,
-    created: bool,
-    phase: Phase,
+    engine: PhaseEngine<DwslModel>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
-    Write,
-    Sync,
-    Mark,
+#[derive(Debug, Clone)]
+struct DwslModel {
+    sync: SyncMode,
+    phases: [PhaseSpec; 2],
+}
+
+impl AppModel for DwslModel {
+    fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    fn build(&mut self, phase: usize, iter: u64, s: &mut OpScript, _rng: &mut SimRng) {
+        let file = FileRef::Slot(0);
+        match phase {
+            0 => s.create(0),
+            _ => {
+                // Appending at `iter` extends the file: an allocating
+                // write, so the sync cannot degenerate to a data-only
+                // flush.
+                s.write(file, iter, 1);
+                s.sync(self.sync, file);
+                s.txn_mark();
+            }
+        }
+    }
 }
 
 impl Dwsl {
     /// `writes` append+sync operations on a fresh private file.
     pub fn new(sync: SyncMode, writes: u64) -> Dwsl {
         Dwsl {
-            sync,
-            writes,
-            issued: 0,
-            offset: 0,
-            created: false,
-            phase: Phase::Write,
+            engine: PhaseEngine::new(DwslModel {
+                sync,
+                phases: [
+                    PhaseSpec::once("create"),
+                    PhaseSpec::iterations("append", writes),
+                ],
+            }),
         }
     }
 }
 
 impl Workload for Dwsl {
-    fn next_op(&mut self, _rng: &mut SimRng) -> Option<Op> {
-        if !self.created {
-            self.created = true;
-            return Some(Op::Create { slot: 0 });
-        }
-        let file = FileRef::Slot(0);
-        loop {
-            match self.phase {
-                Phase::Write => {
-                    if self.issued >= self.writes {
-                        return None;
-                    }
-                    self.issued += 1;
-                    let offset = self.offset;
-                    self.offset += 1;
-                    self.phase = Phase::Sync;
-                    return Some(Op::Write {
-                        file,
-                        offset,
-                        blocks: 1,
-                    });
-                }
-                Phase::Sync => {
-                    self.phase = Phase::Mark;
-                    if let Some(op) = self.sync.op(file) {
-                        return Some(op);
-                    }
-                }
-                Phase::Mark => {
-                    self.phase = Phase::Write;
-                    return Some(Op::TxnMark);
-                }
-            }
-        }
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
+        self.engine.next_op(rng)
     }
 }
 

@@ -15,22 +15,41 @@
 //!   with a circularly overwritten log file (Fig 15; the overwrites are
 //!   what trigger OptFS's selective data journaling).
 //!
-//! All generators implement [`barrier_io::Workload`]; the sync flavour is
-//! a parameter ([`SyncMode`]) so one generator covers the EXT4-DR /
-//! EXT4-OD / BFS-DR / BFS-OD / OptFS experiment columns.
+//! Beyond the paper's five, two server workloads exercise the stacks where
+//! tail *latency*, not throughput, differentiates them (the `fig16`
+//! experiment):
+//!
+//! * [`RocksDbWal`] — LSM-style WAL append + commit sync, interleaved with
+//!   memtable flushes to L0 SSTs and L0→L1 compactions;
+//! * [`MailQueue`] — postfix-style fsync storm: spool-file + queue-directory
+//!   sync per message over a ring of small files.
+//!
+//! Every workload is built on the [`engine`] phase framework: a model
+//! declares its phases ([`PhaseSpec`]) and builds one iteration's ops at a
+//! time into an [`OpScript`]; [`PhaseEngine`] drives it as a
+//! [`barrier_io::Workload`]. The sync flavour is a parameter
+//! ([`SyncMode`]) so one generator covers the EXT4-DR / EXT4-OD / BFS-DR /
+//! BFS-OD / OptFS experiment columns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
+
 mod dwsl;
+mod mailqueue;
 mod oltp;
 mod randwrite;
+mod rocksdb;
 mod sqlite;
 mod varmail;
 
 pub use dwsl::Dwsl;
+pub use engine::{AppModel, FilePool, OpScript, PhaseEngine, PhaseLen, PhaseSpec};
+pub use mailqueue::MailQueue;
 pub use oltp::OltpInsert;
 pub use randwrite::{RandWrite, WriteMode};
+pub use rocksdb::RocksDbWal;
 pub use sqlite::{Sqlite, SqliteJournalMode};
 pub use varmail::Varmail;
 

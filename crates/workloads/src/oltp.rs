@@ -11,24 +11,59 @@
 use barrier_io::{FileRef, Op, Workload};
 use bio_sim::SimRng;
 
+use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
 
 /// OLTP insert transactions against a shared table/redo/binlog trio.
+///
+/// One phase (`txn`), one iteration per transaction: redo-log record +
+/// sync, binlog append + sync, and a burst of buffered dirty-page writes
+/// every eighth transaction (background buffer-pool flushing).
 #[derive(Debug, Clone)]
 pub struct OltpInsert {
+    engine: PhaseEngine<OltpModel>,
+}
+
+#[derive(Debug, Clone)]
+struct OltpModel {
     sync: SyncMode,
     table: FileRef,
     redo: FileRef,
     binlog: FileRef,
-    txns: u64,
-    done: u64,
     /// Circular redo-log size in blocks.
     redo_blocks: u64,
     redo_head: u64,
     binlog_head: u64,
     /// Table size for background dirty-page writes.
     table_blocks: u64,
-    queue: std::collections::VecDeque<Op>,
+    phases: [PhaseSpec; 1],
+}
+
+impl AppModel for OltpModel {
+    fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    fn build(&mut self, _phase: usize, iter: u64, s: &mut OpScript, rng: &mut SimRng) {
+        // Redo log record: circular overwrite once warm.
+        let redo_off = self.redo_head % self.redo_blocks;
+        self.redo_head += 1;
+        s.write(self.redo, redo_off, 1);
+        s.sync(self.sync, self.redo);
+        // Binlog append + sync (sync_binlog=1).
+        let off = self.binlog_head;
+        self.binlog_head += 1;
+        s.write(self.binlog, off, 1);
+        s.sync(self.sync, self.binlog);
+        // Background buffer-pool flushing: a few dirty table pages every
+        // eighth transaction, buffered (no sync).
+        if (iter + 1) % 8 == 0 {
+            for _ in 0..4 {
+                s.write(self.table, rng.below(self.table_blocks), 1);
+            }
+        }
+        s.txn_mark();
+    }
 }
 
 impl OltpInsert {
@@ -42,70 +77,31 @@ impl OltpInsert {
         txns: u64,
     ) -> OltpInsert {
         OltpInsert {
-            sync,
-            table,
-            redo,
-            binlog,
-            txns,
-            done: 0,
-            redo_blocks: 256,
-            redo_head: 0,
-            binlog_head: 0,
-            table_blocks: 4096,
-            queue: std::collections::VecDeque::new(),
+            engine: PhaseEngine::new(OltpModel {
+                sync,
+                table,
+                redo,
+                binlog,
+                redo_blocks: 256,
+                redo_head: 0,
+                binlog_head: 0,
+                table_blocks: 4096,
+                phases: [PhaseSpec::iterations("txn", txns)],
+            }),
         }
     }
 
-    fn push_sync(&mut self, file: FileRef) {
-        if let Some(op) = self.sync.op(file) {
-            self.queue.push_back(op);
-        }
-    }
-
-    fn refill(&mut self, rng: &mut SimRng) {
-        // Redo log record: circular overwrite once warm.
-        let redo_off = self.redo_head % self.redo_blocks;
-        self.redo_head += 1;
-        self.queue.push_back(Op::Write {
-            file: self.redo,
-            offset: redo_off,
-            blocks: 1,
-        });
-        self.push_sync(self.redo);
-        // Binlog append + sync (sync_binlog=1).
-        let off = self.binlog_head;
-        self.binlog_head += 1;
-        self.queue.push_back(Op::Write {
-            file: self.binlog,
-            offset: off,
-            blocks: 1,
-        });
-        self.push_sync(self.binlog);
-        // Background buffer-pool flushing: a few dirty table pages every
-        // eighth transaction, buffered (no sync).
-        if self.done % 8 == 0 {
-            for _ in 0..4 {
-                self.queue.push_back(Op::Write {
-                    file: self.table,
-                    offset: rng.below(self.table_blocks),
-                    blocks: 1,
-                });
-            }
-        }
-        self.queue.push_back(Op::TxnMark);
+    /// Overrides the circular redo-log size (blocks). Smaller logs wrap —
+    /// and overwrite committed content — sooner.
+    pub fn with_redo_blocks(mut self, blocks: u64) -> OltpInsert {
+        self.engine.model_mut().redo_blocks = blocks.max(1);
+        self
     }
 }
 
 impl Workload for OltpInsert {
     fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
-        if self.queue.is_empty() {
-            if self.done >= self.txns {
-                return None;
-            }
-            self.done += 1;
-            self.refill(rng);
-        }
-        self.queue.pop_front()
+        self.engine.next_op(rng)
     }
 }
 
@@ -134,18 +130,15 @@ mod tests {
 
     #[test]
     fn redo_log_wraps_circularly() {
-        let mut w = OltpInsert::new(
+        let w = OltpInsert::new(
             SyncMode::None,
             FileRef::Global(0),
             FileRef::Global(1),
             FileRef::Global(2),
             600,
-        );
-        w.redo_blocks = 4;
-        let ops = {
-            let mut rng = SimRng::new(1);
-            std::iter::from_fn(move || w.next_op(&mut rng)).collect::<Vec<_>>()
-        };
+        )
+        .with_redo_blocks(4);
+        let ops = drain(w);
         let redo_offsets: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o {

@@ -14,6 +14,7 @@
 use barrier_io::{FileRef, Op, Workload};
 use bio_sim::SimRng;
 
+use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
 
 /// How each write is followed up.
@@ -26,14 +27,33 @@ pub enum WriteMode {
 }
 
 /// Uniform random single-block writes over a file region.
+///
+/// One phase (`write`), one iteration per write: a random-offset write,
+/// optionally followed by the mode's sync call.
 #[derive(Debug, Clone)]
 pub struct RandWrite {
+    engine: PhaseEngine<RandWriteModel>,
+}
+
+#[derive(Debug, Clone)]
+struct RandWriteModel {
     file: FileRef,
-    /// Size of the target region in blocks.
     region_blocks: u64,
     mode: WriteMode,
-    remaining: u64,
-    pending_sync: bool,
+    phases: [PhaseSpec; 1],
+}
+
+impl AppModel for RandWriteModel {
+    fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    fn build(&mut self, _phase: usize, _iter: u64, s: &mut OpScript, rng: &mut SimRng) {
+        s.write(self.file, rng.below(self.region_blocks), 1);
+        if let WriteMode::SyncEach(sync) = self.mode {
+            s.sync(sync, self.file);
+        }
+    }
 }
 
 impl RandWrite {
@@ -42,35 +62,19 @@ impl RandWrite {
     pub fn new(file: FileRef, region_blocks: u64, mode: WriteMode, count: u64) -> RandWrite {
         assert!(region_blocks > 0, "empty region");
         RandWrite {
-            file,
-            region_blocks,
-            mode,
-            remaining: count,
-            pending_sync: false,
+            engine: PhaseEngine::new(RandWriteModel {
+                file,
+                region_blocks,
+                mode,
+                phases: [PhaseSpec::iterations("write", count)],
+            }),
         }
     }
 }
 
 impl Workload for RandWrite {
     fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
-        if self.pending_sync {
-            self.pending_sync = false;
-            if let WriteMode::SyncEach(sync) = self.mode {
-                if let Some(op) = sync.op(self.file) {
-                    return Some(op);
-                }
-            }
-        }
-        if self.remaining == 0 {
-            return None;
-        }
-        self.remaining -= 1;
-        self.pending_sync = matches!(self.mode, WriteMode::SyncEach(_));
-        Some(Op::Write {
-            file: self.file,
-            offset: rng.below(self.region_blocks),
-            blocks: 1,
-        })
+        self.engine.next_op(rng)
     }
 }
 

@@ -23,6 +23,7 @@
 use barrier_io::{FileRef, Op, Workload};
 use bio_sim::SimRng;
 
+use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
 
 /// SQLite journal modes used in the paper.
@@ -35,8 +36,16 @@ pub enum SqliteJournalMode {
 }
 
 /// SQLite insert workload over a shared database file.
+///
+/// One phase (`insert`), one iteration per transaction: the four
+/// write+sync points of PERSIST mode, or one WAL frame append + sync.
 #[derive(Debug, Clone)]
 pub struct Sqlite {
+    engine: PhaseEngine<SqliteModel>,
+}
+
+#[derive(Debug, Clone)]
+struct SqliteModel {
     mode: SqliteJournalMode,
     /// Sync used for the three ordering points.
     order_sync: SyncMode,
@@ -44,11 +53,46 @@ pub struct Sqlite {
     commit_sync: SyncMode,
     db: FileRef,
     journal: FileRef,
-    inserts: u64,
-    done: u64,
     db_blocks: u64,
     wal_head: u64,
-    queue: std::collections::VecDeque<Op>,
+    phases: [PhaseSpec; 1],
+}
+
+impl AppModel for SqliteModel {
+    fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    fn build(&mut self, _phase: usize, _iter: u64, s: &mut OpScript, rng: &mut SimRng) {
+        // The target page is drawn before the mode split so PERSIST and
+        // WAL runs consume the thread RNG identically per transaction.
+        let db_page = rng.below(self.db_blocks);
+        match self.mode {
+            SqliteJournalMode::Persist => {
+                // Undo log: two pages at the start of the journal file
+                // (overwritten every transaction — PERSIST keeps the file).
+                s.write(self.journal, 1, 2);
+                s.sync(self.order_sync, self.journal);
+                // Journal header.
+                s.write(self.journal, 0, 1);
+                s.sync(self.order_sync, self.journal);
+                // Updated database node.
+                s.write(self.db, 1 + db_page, 1);
+                s.sync(self.order_sync, self.db);
+                // Database header / commit point: durability.
+                s.write(self.db, 0, 1);
+                s.sync(self.commit_sync, self.db);
+            }
+            SqliteJournalMode::Wal => {
+                // Append the frame (page + header) to the WAL and sync once.
+                let off = self.wal_head;
+                self.wal_head += 2;
+                s.write(self.journal, off, 2);
+                s.sync(self.commit_sync, self.journal);
+            }
+        }
+        s.txn_mark();
+    }
 }
 
 impl Sqlite {
@@ -68,16 +112,16 @@ impl Sqlite {
         db_blocks: u64,
     ) -> Sqlite {
         Sqlite {
-            mode,
-            order_sync,
-            commit_sync,
-            db,
-            journal,
-            inserts,
-            done: 0,
-            db_blocks: db_blocks.max(4),
-            wal_head: 0,
-            queue: std::collections::VecDeque::new(),
+            engine: PhaseEngine::new(SqliteModel {
+                mode,
+                order_sync,
+                commit_sync,
+                db,
+                journal,
+                db_blocks: db_blocks.max(4),
+                wal_head: 0,
+                phases: [PhaseSpec::iterations("insert", inserts)],
+            }),
         }
     }
 
@@ -136,73 +180,11 @@ impl Sqlite {
             2048,
         )
     }
-
-    fn refill(&mut self, rng: &mut SimRng) {
-        let db_page = rng.below(self.db_blocks);
-        match self.mode {
-            SqliteJournalMode::Persist => {
-                // Undo log: two pages at the start of the journal file
-                // (overwritten every transaction — PERSIST keeps the file).
-                self.queue.push_back(Op::Write {
-                    file: self.journal,
-                    offset: 1,
-                    blocks: 2,
-                });
-                self.push_sync(self.order_sync, self.journal);
-                // Journal header.
-                self.queue.push_back(Op::Write {
-                    file: self.journal,
-                    offset: 0,
-                    blocks: 1,
-                });
-                self.push_sync(self.order_sync, self.journal);
-                // Updated database node.
-                self.queue.push_back(Op::Write {
-                    file: self.db,
-                    offset: 1 + db_page,
-                    blocks: 1,
-                });
-                self.push_sync(self.order_sync, self.db);
-                // Database header / commit point: durability.
-                self.queue.push_back(Op::Write {
-                    file: self.db,
-                    offset: 0,
-                    blocks: 1,
-                });
-                self.push_sync(self.commit_sync, self.db);
-            }
-            SqliteJournalMode::Wal => {
-                // Append the frame (page + header) to the WAL and sync once.
-                let off = self.wal_head;
-                self.wal_head += 2;
-                self.queue.push_back(Op::Write {
-                    file: self.journal,
-                    offset: off,
-                    blocks: 2,
-                });
-                self.push_sync(self.commit_sync, self.journal);
-            }
-        }
-        self.queue.push_back(Op::TxnMark);
-    }
-
-    fn push_sync(&mut self, mode: SyncMode, file: FileRef) {
-        if let Some(op) = mode.op(file) {
-            self.queue.push_back(op);
-        }
-    }
 }
 
 impl Workload for Sqlite {
     fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
-        if self.queue.is_empty() {
-            if self.done >= self.inserts {
-                return None;
-            }
-            self.done += 1;
-            self.refill(rng);
-        }
-        self.queue.pop_front()
+        self.engine.next_op(rng)
     }
 }
 

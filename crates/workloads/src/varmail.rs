@@ -9,94 +9,74 @@
 use barrier_io::{FileRef, Op, Workload};
 use bio_sim::SimRng;
 
+use crate::engine::{AppModel, FilePool, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
 
 /// Mail-server workload over a pool of per-thread files.
+///
+/// One phase (`mail`), one iteration per message, over a [`FilePool`]
+/// working set: once the pool is primed, the slot being recreated holds
+/// the oldest mail, which is deleted first.
 #[derive(Debug, Clone)]
 pub struct Varmail {
+    engine: PhaseEngine<VarmailModel>,
+}
+
+#[derive(Debug, Clone)]
+struct VarmailModel {
     sync: SyncMode,
-    iterations: u64,
-    done: u64,
-    /// Pool of mail files (thread-private slots), used round-robin.
-    pool: usize,
-    cursor: usize,
-    created: usize,
+    pool: FilePool,
     max_mail_blocks: u64,
-    queue: std::collections::VecDeque<Op>,
+    phases: [PhaseSpec; 1],
+}
+
+impl AppModel for VarmailModel {
+    fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    fn build(&mut self, _phase: usize, _iter: u64, s: &mut OpScript, rng: &mut SimRng) {
+        let (slot_new, slot_old) = self.pool.advance();
+        let blocks = rng.range(1, self.max_mail_blocks);
+
+        // deletefile: drop the oldest mail (only once the pool is primed).
+        if self.pool.primed() {
+            s.unlink(FileRef::Slot(slot_new));
+        }
+        // createfile + appendfilerand + fsync.
+        s.create(slot_new);
+        self.pool.note_created();
+        s.write(FileRef::Slot(slot_new), 0, blocks);
+        s.sync(self.sync, FileRef::Slot(slot_new));
+        // openfile + appendfilerand + fsync on an existing mail.
+        if self.pool.created() > 1 {
+            let target = FileRef::Slot(slot_old.min(self.pool.created() - 1));
+            s.write(target, self.max_mail_blocks, rng.range(1, 2));
+            s.sync(self.sync, target);
+            // readfile.
+            s.read(target, 0, 1);
+        }
+        s.txn_mark();
+    }
 }
 
 impl Varmail {
     /// `iterations` mail loops with a pool of `pool` files per thread.
     pub fn new(sync: SyncMode, iterations: u64, pool: usize) -> Varmail {
         Varmail {
-            sync,
-            iterations,
-            done: 0,
-            pool: pool.max(2),
-            cursor: 0,
-            created: 0,
-            max_mail_blocks: 4,
-            queue: std::collections::VecDeque::new(),
+            engine: PhaseEngine::new(VarmailModel {
+                sync,
+                pool: FilePool::new(pool.max(2)),
+                max_mail_blocks: 4,
+                phases: [PhaseSpec::iterations("mail", iterations)],
+            }),
         }
-    }
-
-    fn push_sync(&mut self, file: FileRef) {
-        if let Some(op) = self.sync.op(file) {
-            self.queue.push_back(op);
-        }
-    }
-
-    fn refill(&mut self, rng: &mut SimRng) {
-        let slot_new = self.cursor % self.pool;
-        let slot_old = (self.cursor + 1) % self.pool;
-        self.cursor += 1;
-        let blocks = rng.range(1, self.max_mail_blocks);
-
-        // deletefile: drop the oldest mail (only once the pool is primed).
-        if self.created >= self.pool {
-            self.queue.push_back(Op::Unlink {
-                file: FileRef::Slot(slot_new),
-            });
-        }
-        // createfile + appendfilerand + fsync.
-        self.queue.push_back(Op::Create { slot: slot_new });
-        self.created += 1;
-        self.queue.push_back(Op::Write {
-            file: FileRef::Slot(slot_new),
-            offset: 0,
-            blocks,
-        });
-        self.push_sync(FileRef::Slot(slot_new));
-        // openfile + appendfilerand + fsync on an existing mail.
-        if self.created > 1 {
-            let target = FileRef::Slot(slot_old.min(self.created - 1));
-            self.queue.push_back(Op::Write {
-                file: target,
-                offset: self.max_mail_blocks,
-                blocks: rng.range(1, 2),
-            });
-            self.push_sync(target);
-            // readfile.
-            self.queue.push_back(Op::Read {
-                file: target,
-                offset: 0,
-                blocks: 1,
-            });
-        }
-        self.queue.push_back(Op::TxnMark);
     }
 }
 
 impl Workload for Varmail {
     fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
-        if self.queue.is_empty() {
-            if self.done >= self.iterations {
-                return None;
-            }
-            self.done += 1;
-            self.refill(rng);
-        }
-        self.queue.pop_front()
+        self.engine.next_op(rng)
     }
 }
 
