@@ -71,6 +71,9 @@ fn main() {
     if want("fig16") {
         experiments::fig16(scale);
     }
+    if want("fig17") {
+        experiments::fig17(scale);
+    }
     if want("figengines") || want("figbarrier-engine") || all {
         experiments::ablation_engines(scale);
     }
@@ -88,7 +91,7 @@ fn main() {
 fn print_help() {
     println!(
         "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N] [--jobs J]\n\
-         figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, 16, engines, crash; table: 1\n\
+         figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, engines, crash; table: 1\n\
          --scale multiplies run length (1 = quick); --jobs bounds the\n\
          experiment-grid worker pool (>= 1; 1 = serial, default: all cores)"
     );

@@ -394,33 +394,30 @@ pub fn fig11(scale: u64) -> Vec<(String, &'static str, f64)> {
         DeviceProfile::plain_ssd(),
         DeviceProfile::supercap_ssd(),
     ] {
-        let cells: Vec<(&'static str, StackConfig, SyncMode, OpKind)> = vec![
+        let cells: Vec<(StackConfig, SyncMode, OpKind)> = vec![
             (
-                "EXT4-DR",
                 StackConfig::ext4_dr(dev.clone()),
                 SyncMode::Fsync,
                 OpKind::Fsync,
             ),
             (
-                "BFS-DR",
                 StackConfig::bfs(dev.clone()),
                 SyncMode::Fsync,
                 OpKind::Fsync,
             ),
             (
-                "EXT4-OD",
                 StackConfig::ext4_od(dev.clone()),
                 SyncMode::Fsync,
                 OpKind::Fsync,
             ),
             (
-                "BFS-OD",
-                StackConfig::bfs(dev.clone()),
+                StackConfig::bfs(dev.clone()).ordering_only(),
                 SyncMode::Fbarrier,
                 OpKind::Fbarrier,
             ),
         ];
-        for (label, cfg, sync, kind) in cells {
+        for (cfg, sync, kind) in cells {
+            let label = cfg.stack_label();
             meta.push((dev.name.clone(), label));
             grid.push(format!("fig11/{}/{label}", dev.name), move || {
                 // Overwrites of a warm region: the paper's workload, where
@@ -528,18 +525,13 @@ pub fn fig13(scale: u64) -> Vec<(String, &'static str, usize, f64)> {
     let mut grid = ExperimentGrid::new();
     let mut meta = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
-        for (label, mk_cfg) in [
-            (
-                "EXT4-DR",
-                StackConfig::ext4_dr as fn(DeviceProfile) -> StackConfig,
-            ),
-            (
-                "BFS-DR",
-                StackConfig::bfs as fn(DeviceProfile) -> StackConfig,
-            ),
+        for mk_cfg in [
+            StackConfig::ext4_dr as fn(DeviceProfile) -> StackConfig,
+            StackConfig::bfs as fn(DeviceProfile) -> StackConfig,
         ] {
             for &n in &cores {
                 let cfg = mk_cfg(dev.clone());
+                let label = cfg.stack_label();
                 meta.push((dev.name.clone(), label, n));
                 grid.push(format!("fig13/{}/{label}/{n}", dev.name), move || {
                     let report = run_to_completion(
@@ -585,47 +577,40 @@ pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
     type MkSqlite = fn(SqliteJournalMode, FileRef, FileRef, u64) -> Sqlite;
     // (a) mobile storage: durability rows.
     // (b) plain-SSD: ordering rows + the EXT4-DR baseline for the 73x claim.
-    let cells: Vec<(DeviceProfile, &'static str, StackConfig, MkSqlite)> = vec![
+    let cells: Vec<(DeviceProfile, StackConfig, MkSqlite)> = vec![
         (
             DeviceProfile::ufs(),
-            "EXT4-DR",
             StackConfig::ext4_dr(DeviceProfile::ufs()),
             Sqlite::durability,
         ),
         (
             DeviceProfile::ufs(),
-            "BFS-DR",
             StackConfig::bfs(DeviceProfile::ufs()),
             Sqlite::barrier_durability,
         ),
         (
             DeviceProfile::ufs(),
-            "BFS-OD",
-            StackConfig::bfs(DeviceProfile::ufs()),
+            StackConfig::bfs(DeviceProfile::ufs()).ordering_only(),
             Sqlite::ordering,
         ),
         (
             DeviceProfile::plain_ssd(),
-            "EXT4-DR",
             StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
             Sqlite::durability,
         ),
         (
             DeviceProfile::plain_ssd(),
-            "EXT4-OD",
             StackConfig::ext4_od(DeviceProfile::plain_ssd()),
             Sqlite::durability,
         ),
         (
             DeviceProfile::plain_ssd(),
-            "OptFS",
             StackConfig::optfs(DeviceProfile::plain_ssd()),
             Sqlite::ordering,
         ),
         (
             DeviceProfile::plain_ssd(),
-            "BFS-OD",
-            StackConfig::bfs(DeviceProfile::plain_ssd()),
+            StackConfig::bfs(DeviceProfile::plain_ssd()).ordering_only(),
             Sqlite::ordering,
         ),
     ];
@@ -636,8 +621,9 @@ pub fn fig14(scale: u64) -> Vec<(String, String, &'static str, f64)> {
             SqliteJournalMode::Persist => "PERSIST",
             SqliteJournalMode::Wal => "WAL",
         };
-        for (dev, label, cfg, mk) in &cells {
-            meta.push((mode_name.to_string(), dev.name.clone(), *label));
+        for (dev, cfg, mk) in &cells {
+            let label = cfg.stack_label();
+            meta.push((mode_name.to_string(), dev.name.clone(), label));
             let (cfg, mk) = (cfg.clone(), *mk);
             grid.push(
                 format!("fig14/{mode_name}/{}/{label}", dev.name),
@@ -684,22 +670,18 @@ pub fn fig15(scale: u64) -> Vec<(String, String, &'static str, f64)> {
     let mut grid = ExperimentGrid::new();
     let mut meta = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
-        let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
+        let stacks: Vec<(StackConfig, SyncMode)> = vec![
+            (StackConfig::ext4_dr(dev.clone()), SyncMode::Fsync),
+            (StackConfig::bfs(dev.clone()), SyncMode::Fsync),
+            (StackConfig::optfs(dev.clone()), SyncMode::Fbarrier),
+            (StackConfig::ext4_od(dev.clone()), SyncMode::Fsync),
             (
-                "EXT4-DR",
-                StackConfig::ext4_dr(dev.clone()),
-                SyncMode::Fsync,
+                StackConfig::bfs(dev.clone()).ordering_only(),
+                SyncMode::Fbarrier,
             ),
-            ("BFS-DR", StackConfig::bfs(dev.clone()), SyncMode::Fsync),
-            ("OptFS", StackConfig::optfs(dev.clone()), SyncMode::Fbarrier),
-            (
-                "EXT4-OD",
-                StackConfig::ext4_od(dev.clone()),
-                SyncMode::Fsync,
-            ),
-            ("BFS-OD", StackConfig::bfs(dev.clone()), SyncMode::Fbarrier),
         ];
-        for (label, cfg, sync) in stacks {
+        for (cfg, sync) in stacks {
+            let label = cfg.stack_label();
             meta.push((dev.name.clone(), label));
             // varmail: 16 threads.
             let iters = 100 * scale;
@@ -800,30 +782,18 @@ pub fn fig16(scale: u64) -> Vec<Fig16Cell> {
     let mut grid = ExperimentGrid::new();
     let mut meta = Vec::new();
     for dev in [DeviceProfile::plain_ssd(), DeviceProfile::supercap_ssd()] {
-        let stacks: Vec<(&'static str, StackConfig, SyncMode)> = vec![
+        let stacks: Vec<(StackConfig, SyncMode)> = vec![
+            (StackConfig::ext4_dr(dev.clone()), SyncMode::Fdatasync),
+            (StackConfig::bfs(dev.clone()), SyncMode::Fdatasync),
+            (StackConfig::optfs(dev.clone()), SyncMode::Fdatabarrier),
+            (StackConfig::ext4_od(dev.clone()), SyncMode::Fdatasync),
             (
-                "EXT4-DR",
-                StackConfig::ext4_dr(dev.clone()),
-                SyncMode::Fdatasync,
-            ),
-            ("BFS-DR", StackConfig::bfs(dev.clone()), SyncMode::Fdatasync),
-            (
-                "OptFS",
-                StackConfig::optfs(dev.clone()),
-                SyncMode::Fdatabarrier,
-            ),
-            (
-                "EXT4-OD",
-                StackConfig::ext4_od(dev.clone()),
-                SyncMode::Fdatasync,
-            ),
-            (
-                "BFS-OD",
-                StackConfig::bfs(dev.clone()),
+                StackConfig::bfs(dev.clone()).ordering_only(),
                 SyncMode::Fdatabarrier,
             ),
         ];
-        for (label, cfg, sync) in stacks {
+        for (cfg, sync) in stacks {
+            let label = cfg.stack_label();
             // RocksDB-style WAL + compaction: 4 independent DB threads.
             let puts = 300 * scale;
             let rcfg = cfg.clone();
@@ -884,6 +854,107 @@ pub fn fig16(scale: u64) -> Vec<Fig16Cell> {
     print_table(
         "Fig 16 — RocksDB-WAL and mail-queue: Tx/s and sync-call latency (ms)",
         &["device", "workload", "stack", "Tx/s", "p50", "p95", "p99"],
+        &rows,
+    );
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 17 — multi-queue / multi-device scaling (post-paper).
+// ---------------------------------------------------------------------
+
+/// One Fig 17 cell: throughput of one stack on one lane topology.
+#[derive(Debug, Clone)]
+pub struct Fig17Cell {
+    /// Stack label (`EXT4-DR` / `BFS-OD`).
+    pub stack: &'static str,
+    /// Hardware queues per device.
+    pub queues: usize,
+    /// Device count.
+    pub devices: usize,
+    /// Application transactions per second.
+    pub txns_per_sec: f64,
+    /// Mean device queue depth (averaged over devices).
+    pub mean_qd: f64,
+    /// Global epochs released by the cross-lane sequencer.
+    pub epochs: u64,
+}
+
+/// Fig 17: the paper's open question — does order-preserving dispatch
+/// survive a multi-queue interface? 256 workload threads drive a DWSL
+/// commit storm against {1,2,4,8} hardware queues × {1,2,4} devices,
+/// EXT4-DR (Wait-on-Transfer ordering) vs BFS-OD (barrier ordering).
+/// EXT4 scales with the added device bandwidth because every fsync
+/// already serialises on transfer; BFS's cross-lane epoch sequencer must
+/// drain every lane per epoch, so its ordering advantage is bounded by
+/// the slowest lane — the grid shows where that cost grows with queue
+/// count and where added devices buy it back.
+pub fn fig17(scale: u64) -> Vec<Fig17Cell> {
+    const THREADS: usize = 256;
+    let writes = 2 * scale;
+    let mut grid = ExperimentGrid::new();
+    let mut meta = Vec::new();
+    for (cfg0, sync) in [
+        (
+            StackConfig::ext4_dr(DeviceProfile::plain_ssd()),
+            SyncMode::Fsync,
+        ),
+        (
+            StackConfig::bfs(DeviceProfile::plain_ssd()).ordering_only(),
+            SyncMode::Fbarrier,
+        ),
+    ] {
+        for queues in [1usize, 2, 4, 8] {
+            for devices in [1usize, 2, 4] {
+                let cfg = cfg0
+                    .clone()
+                    .with_topology(barrier_io::Topology::new(queues, devices, 8));
+                meta.push((cfg.stack_label(), queues, devices));
+                grid.push(
+                    format!("fig17/{}/{queues}q/{devices}dev", cfg.stack_label()),
+                    move || {
+                        let report = run_to_completion(
+                            cfg,
+                            move |_| Box::new(Dwsl::new(sync, writes)) as Box<dyn Workload>,
+                            THREADS,
+                            SimDuration::ZERO,
+                            SimDuration::from_secs(3600),
+                        );
+                        (
+                            report.run.txns_per_sec(),
+                            report.mean_qd,
+                            report.block.epochs_sequenced,
+                        )
+                    },
+                );
+            }
+        }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), meta.len(), "grid cell/meta pairing");
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for ((stack, queues, devices), (tps, mean_qd, epochs)) in meta.into_iter().zip(results) {
+        rows.push(vec![
+            stack.to_string(),
+            queues.to_string(),
+            devices.to_string(),
+            format!("{tps:.0}"),
+            format!("{mean_qd:.2}"),
+            epochs.to_string(),
+        ]);
+        out.push(Fig17Cell {
+            stack,
+            queues,
+            devices,
+            txns_per_sec: tps,
+            mean_qd,
+            epochs,
+        });
+    }
+    print_table(
+        "Fig 17 — multi-queue scaling: 256-thread DWSL, queues × devices",
+        &["stack", "queues", "devices", "Tx/s", "mean QD", "epochs"],
         &rows,
     );
     out

@@ -1,18 +1,28 @@
 //! Order-Preserving Dispatch (§3.4) and the block layer facade.
 //!
-//! [`BlockLayer`] owns the device and glues the pieces together:
+//! [`BlockLayer`] owns the device array and glues the pieces together:
 //!
-//! * requests are queued through the configured IO scheduler (epoch-based
-//!   or a legacy one);
+//! * requests are queued through per-lane IO schedulers — one lane per
+//!   `(device, hardware queue)` pair of the configured [`Topology`], each
+//!   wrapping the configured base scheduler in an [`EpochScheduler`];
+//! * logical addresses are striped RAID-0 style across the devices; a
+//!   request spanning several stripes is split into per-device parts and
+//!   completes upward only when every part has completed;
+//! * a cross-lane **epoch sequencer** keeps barrier semantics intact on
+//!   the multi-queue path: a barrier closes the global epoch on every
+//!   lane at once, and the successor epoch is released to the devices
+//!   only after each lane has drained its share of the predecessor;
 //! * dispatchable requests are converted to device commands. In
 //!   [`DispatchMode::OrderPreserving`] a barrier write is tagged with the
 //!   SCSI **ordered** priority, which is "the only thing the host block
 //!   device driver does" to guarantee transfer order without blocking the
 //!   caller;
-//! * when the device queue is full the request is held back and redispatch
-//!   is retried after the SCSI-style retry interval (Fig 6(b));
+//! * when a device queue is full the request is held back on its lane and
+//!   redispatch is retried after the SCSI-style retry interval (Fig 6(b));
 //! * device completions are translated back into per-request completions
 //!   (a merged request completes every constituent bio).
+
+use std::collections::VecDeque;
 
 use bio_flash::{CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
 use bio_sim::{ActionSink, SeqTable, SimDuration, SimTime};
@@ -20,6 +30,7 @@ use bio_sim::{ActionSink, SeqTable, SimDuration, SimTime};
 use crate::epoch::EpochScheduler;
 use crate::request::{BlockRequest, MergedRequest, ReqId, ReqOp};
 use crate::scheduler::{IoScheduler, SchedulerKind};
+use crate::topology::Topology;
 
 /// How the dispatch module enforces transfer order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +45,50 @@ pub enum DispatchMode {
     OrderPreserving,
 }
 
+/// Everything the block layer needs to know, in one place: the base
+/// scheduler, the dispatch discipline and the lane [`Topology`].
+///
+/// Replaces the old `BlockLayer::new(dev, scheduler, dispatch)` positional
+/// constructor so new knobs extend this struct instead of churning every
+/// call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Base IO scheduler each lane wraps in an epoch scheduler.
+    pub scheduler: SchedulerKind,
+    /// Dispatch discipline.
+    pub dispatch: DispatchMode,
+    /// Lane topology (queues × devices, stripe unit).
+    pub topology: Topology,
+}
+
+impl Default for BlockConfig {
+    fn default() -> BlockConfig {
+        BlockConfig {
+            scheduler: SchedulerKind::Elevator,
+            dispatch: DispatchMode::OrderPreserving,
+            topology: Topology::single(),
+        }
+    }
+}
+
+impl BlockConfig {
+    /// Config with the given scheduler and dispatch mode on the classical
+    /// 1 queue × 1 device topology.
+    pub fn new(scheduler: SchedulerKind, dispatch: DispatchMode) -> BlockConfig {
+        BlockConfig {
+            scheduler,
+            dispatch,
+            topology: Topology::single(),
+        }
+    }
+
+    /// Builder-style topology override.
+    pub fn with_topology(mut self, topology: Topology) -> BlockConfig {
+        self.topology = topology;
+        self
+    }
+}
+
 /// SCSI-style retry delay when the device queue is full (the paper quotes
 /// 3 ms for SCSI devices).
 pub const BUSY_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(3);
@@ -41,10 +96,18 @@ pub const BUSY_RETRY_INTERVAL: SimDuration = SimDuration::from_millis(3);
 /// Events the block layer schedules for itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BlockEvent {
-    /// A device-internal event to forward.
-    Dev(DevEvent),
-    /// Retry dispatching after a device-busy bounce.
-    Retry,
+    /// A device-internal event to forward to device `dev`.
+    Dev {
+        /// Device index in the topology.
+        dev: u32,
+        /// The device event to forward.
+        ev: DevEvent,
+    },
+    /// Retry dispatching on lane `lane` after a device-busy bounce.
+    Retry {
+        /// Lane index (`device * nr_hw_queues + hw_queue`).
+        lane: u32,
+    },
 }
 
 /// What the block layer reports upward after processing an input.
@@ -56,34 +119,100 @@ pub enum BlockAction {
     After(SimDuration, BlockEvent),
 }
 
-/// Block-layer statistics.
+/// Block-layer statistics (aggregated over all lanes).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BlockStats {
     /// Requests submitted by the filesystem.
     pub submitted: u64,
-    /// Commands dispatched to the device.
+    /// Commands dispatched to the devices.
     pub dispatched: u64,
     /// Completions delivered upward.
     pub completed: u64,
     /// Device-busy bounces (each costs a retry interval).
     pub busy_retries: u64,
+    /// Per-device parts created by stripe splitting (0 on a single-device
+    /// topology, where requests pass through whole).
+    pub split_parts: u64,
+    /// Global epochs released by the cross-lane sequencer (multi-lane
+    /// topologies only; the single-lane epoch scheduler sequences itself).
+    pub epochs_sequenced: u64,
 }
 
-/// The order-preserving block device layer.
+/// Per-lane dispatch statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneStats {
+    /// Device this lane feeds.
+    pub device: usize,
+    /// Hardware queue index on that device.
+    pub hw_queue: usize,
+    /// Commands dispatched by this lane.
+    pub dispatched: u64,
+    /// Device-busy bounces on this lane.
+    pub busy_retries: u64,
+    /// Barrier reassignments performed by this lane's epoch scheduler.
+    pub reassignments: u64,
+    /// Requests currently queued (scheduler + held).
+    pub queued: usize,
+}
+
+/// One `(device, hardware queue)` lane: scheduler plus dispatch state.
 #[derive(Debug)]
-pub struct BlockLayer {
+struct Lane {
     sched: EpochScheduler,
-    mode: DispatchMode,
-    dev: Device,
-    /// Commands in flight at the device, keyed by the bump-allocated
-    /// [`CmdId`] (dense sliding-window table; commands complete roughly in
-    /// dispatch order, so the window stays narrow and a completion for an
-    /// already-retired id reads as absent instead of aliasing).
-    inflight: SeqTable<Vec<ReqId>>,
     /// A dispatched request the device bounced; retried on `Retry`.
     held: Option<MergedRequest>,
     retry_pending: bool,
-    next_cmd: u64,
+    dispatched: u64,
+    busy_retries: u64,
+}
+
+impl Lane {
+    /// True when this lane holds no order-preserving work from the fenced
+    /// epoch (its share has reached the device).
+    fn drained(&self) -> bool {
+        self.sched.is_drained()
+            && self
+                .held
+                .as_ref()
+                .is_none_or(|m| !m.req.flags.is_order_preserving())
+    }
+}
+
+/// Split-request bookkeeping: parts still in flight plus the original bio
+/// ids to complete when the last part lands.
+#[derive(Debug)]
+struct SplitState {
+    remaining: u32,
+    ids: Vec<ReqId>,
+}
+
+/// The order-preserving block device layer over an N-queue × M-device
+/// lane topology.
+#[derive(Debug)]
+pub struct BlockLayer {
+    topology: Topology,
+    mode: DispatchMode,
+    lanes: Vec<Lane>,
+    devs: Vec<Device>,
+    /// Commands in flight per device, keyed by the bump-allocated
+    /// [`CmdId`] (dense sliding-window table; commands complete roughly in
+    /// dispatch order, so the window stays narrow and a completion for an
+    /// already-retired id reads as absent instead of aliasing).
+    inflight: Vec<SeqTable<Vec<ReqId>>>,
+    /// Per-device command-id allocators (each device sees a dense,
+    /// monotonically increasing id stream).
+    next_cmd: Vec<u64>,
+    /// Cross-lane epoch sequencer: requests buffered while the
+    /// predecessor epoch drains (multi-lane topologies only).
+    front: VecDeque<BlockRequest>,
+    /// True while the sequencer holds the successor epoch back.
+    gate_closed: bool,
+    /// Part id → split key (multi-lane request splitting).
+    parts: SeqTable<u64>,
+    /// Split key → outstanding-part state.
+    splits: SeqTable<SplitState>,
+    next_part: u64,
+    next_split: u64,
     stats: BlockStats,
     /// Reusable scratch for device actions — the device write path runs
     /// once per command, so this keeps the hot loop allocation-free.
@@ -91,102 +220,346 @@ pub struct BlockLayer {
 }
 
 impl BlockLayer {
-    /// Builds a block layer over `dev` with the given scheduler and
-    /// dispatch mode. The epoch scheduler always wraps the chosen base
-    /// scheduler — with no barrier requests it behaves exactly like the
-    /// base scheduler, so the legacy configurations are unaffected.
-    pub fn new(dev: Device, base: SchedulerKind, mode: DispatchMode) -> BlockLayer {
+    /// Builds a block layer over `devices` (one per topology device, in
+    /// device-index order) with the given configuration. Each lane's
+    /// epoch scheduler wraps the chosen base scheduler — with no barrier
+    /// requests it behaves exactly like the base scheduler, so the legacy
+    /// configurations are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `devices.len()` does not match the topology.
+    pub fn new(devices: Vec<Device>, cfg: BlockConfig) -> BlockLayer {
+        cfg.topology.validate();
+        assert_eq!(
+            devices.len(),
+            cfg.topology.nr_devices,
+            "device count must match the topology"
+        );
+        let single = cfg.topology.is_single();
+        let lanes = (0..cfg.topology.nr_lanes())
+            .map(|_| Lane {
+                sched: if single {
+                    EpochScheduler::new(cfg.scheduler.build())
+                } else {
+                    EpochScheduler::coordinated(cfg.scheduler.build())
+                },
+                held: None,
+                retry_pending: false,
+                dispatched: 0,
+                busy_retries: 0,
+            })
+            .collect();
+        let n = devices.len();
         BlockLayer {
-            sched: EpochScheduler::new(base.build()),
-            mode,
-            dev,
-            inflight: SeqTable::new(),
-            held: None,
-            retry_pending: false,
-            next_cmd: 1,
+            topology: cfg.topology,
+            mode: cfg.dispatch,
+            lanes,
+            inflight: (0..n).map(|_| SeqTable::new()).collect(),
+            next_cmd: vec![1; n],
+            devs: devices,
+            front: VecDeque::new(),
+            gate_closed: false,
+            parts: SeqTable::new(),
+            splits: SeqTable::new(),
+            next_part: 1,
+            next_split: 1,
             stats: BlockStats::default(),
             dev_scratch: Vec::new(),
         }
     }
 
-    /// Access to the device (metrics, crash injection).
+    /// The lane topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// All devices, in device-index order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devs
+    }
+
+    /// Device `i` (metrics, crash injection).
+    pub fn device_at(&self, i: usize) -> &Device {
+        &self.devs[i]
+    }
+
+    /// Single-device convenience accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-device topology; use [`BlockLayer::devices`] or
+    /// [`BlockLayer::device_at`] there.
     pub fn device(&self) -> &Device {
-        &self.dev
+        assert!(
+            self.devs.len() == 1,
+            "BlockLayer::device() on a {}-device topology; use devices()/device_at(i)",
+            self.devs.len()
+        );
+        &self.devs[0]
     }
 
-    /// Mutable access to the device (history recording).
+    /// Mutable access to the single device (history recording).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-device topology; use
+    /// [`BlockLayer::devices_mut`] there.
     pub fn device_mut(&mut self) -> &mut Device {
-        &mut self.dev
+        assert!(
+            self.devs.len() == 1,
+            "BlockLayer::device_mut() on a {}-device topology; use devices_mut()",
+            self.devs.len()
+        );
+        &mut self.devs[0]
     }
 
-    /// Block-layer statistics.
+    /// Mutable access to all devices.
+    pub fn devices_mut(&mut self) -> &mut [Device] {
+        &mut self.devs
+    }
+
+    /// Block-layer statistics (aggregated over all lanes).
     pub fn stats(&self) -> BlockStats {
         self.stats
     }
 
-    /// Requests waiting in the scheduler (not yet dispatched).
+    /// Per-lane statistics, in lane-index order.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| LaneStats {
+                device: self.topology.lane_device(i),
+                hw_queue: i % self.topology.nr_hw_queues,
+                dispatched: l.dispatched,
+                busy_retries: l.busy_retries,
+                reassignments: l.sched.reassignments(),
+                queued: l.sched.len() + usize::from(l.held.is_some()),
+            })
+            .collect()
+    }
+
+    /// Requests waiting in the block layer (not yet dispatched), summed
+    /// over every lane plus the sequencer's front buffer.
     pub fn queued(&self) -> usize {
-        self.sched.len() + usize::from(self.held.is_some())
+        self.lanes
+            .iter()
+            .map(|l| l.sched.len() + usize::from(l.held.is_some()))
+            .sum::<usize>()
+            + self.front.len()
     }
 
     /// Submits a request from the filesystem.
     pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut ActionSink<BlockAction>) {
         self.stats.submitted += 1;
-        self.sched.enqueue(req);
-        self.pump(now, out);
+        if self.topology.is_single() {
+            self.lanes[0].sched.enqueue(req);
+            self.pump_lane(0, now, out);
+        } else {
+            if self.gate_closed {
+                self.front.push_back(req);
+            } else {
+                self.admit(req);
+            }
+            self.run_multi(now, out);
+        }
     }
 
     /// Handles a previously scheduled [`BlockEvent`].
     pub fn handle(&mut self, ev: BlockEvent, now: SimTime, out: &mut ActionSink<BlockAction>) {
         match ev {
-            BlockEvent::Dev(dev_ev) => {
+            BlockEvent::Dev { dev, ev } => {
+                let di = dev as usize;
                 let mut scratch = std::mem::take(&mut self.dev_scratch);
-                self.dev.handle(dev_ev, now, &mut scratch);
-                self.apply_dev_actions(&mut scratch, now, out);
+                self.devs[di].handle(ev, now, &mut scratch);
+                self.apply_dev_actions(di, &mut scratch, now, out);
                 self.dev_scratch = scratch;
                 // Completions free device queue slots: keep dispatching.
-                self.pump(now, out);
+                if self.topology.is_single() {
+                    self.pump_lane(0, now, out);
+                } else {
+                    self.run_multi(now, out);
+                }
             }
-            BlockEvent::Retry => {
-                self.retry_pending = false;
-                self.pump(now, out);
+            BlockEvent::Retry { lane } => {
+                self.lanes[lane as usize].retry_pending = false;
+                if self.topology.is_single() {
+                    self.pump_lane(0, now, out);
+                } else {
+                    self.run_multi(now, out);
+                }
             }
         }
     }
 
-    fn pump(&mut self, now: SimTime, out: &mut ActionSink<BlockAction>) {
+    // ------------------------------------------------------------------
+    // Multi-lane path: striping, splitting and the epoch sequencer.
+    // ------------------------------------------------------------------
+
+    /// Splits `req` into per-device parts and enqueues them on their
+    /// lanes; a barrier additionally fences every lane and closes the
+    /// sequencer gate (the cross-lane epoch boundary).
+    fn admit(&mut self, mut req: BlockRequest) {
+        debug_assert!(!self.gate_closed, "admit only while the gate is open");
+        let closes_epoch = req.flags.barrier;
+        if closes_epoch {
+            // Strip the barrier exactly like the single-lane epoch
+            // scheduler: the parts are order-preserving members of the
+            // closing epoch, and each lane re-attaches a barrier to its
+            // own last ordered leaver so every participating device
+            // closes its local epoch.
+            req.flags.barrier = false;
+            req.flags.ordered = true;
+        }
+        let hw_queue = (req.id.0 % self.topology.nr_hw_queues as u64) as usize;
+        let key = self.next_split;
+        self.next_split += 1;
+        let mut remaining = 0u32;
+        match &req.op {
+            ReqOp::Write { start, tags } => {
+                for (dev, local, off, n) in self.topology.split_range(*start, tags.len() as u64) {
+                    let part = BlockRequest {
+                        id: self.alloc_part(key),
+                        op: ReqOp::Write {
+                            start: local,
+                            tags: tags[off as usize..(off + n) as usize].to_vec(),
+                        },
+                        flags: req.flags,
+                    };
+                    remaining += 1;
+                    self.lanes[self.topology.lane(dev, hw_queue)]
+                        .sched
+                        .enqueue(part);
+                }
+            }
+            ReqOp::Read { start, count } => {
+                for (dev, local, _off, n) in self.topology.split_range(*start, *count) {
+                    let part = BlockRequest {
+                        id: self.alloc_part(key),
+                        op: ReqOp::Read {
+                            start: local,
+                            count: n,
+                        },
+                        flags: req.flags,
+                    };
+                    remaining += 1;
+                    self.lanes[self.topology.lane(dev, hw_queue)]
+                        .sched
+                        .enqueue(part);
+                }
+            }
+            // A flush drains every device's cache.
+            ReqOp::Flush => {
+                for dev in 0..self.topology.nr_devices {
+                    let part = BlockRequest {
+                        id: self.alloc_part(key),
+                        op: ReqOp::Flush,
+                        flags: req.flags,
+                    };
+                    remaining += 1;
+                    self.lanes[self.topology.lane(dev, hw_queue)]
+                        .sched
+                        .enqueue(part);
+                }
+            }
+        }
+        self.stats.split_parts += u64::from(remaining) - 1;
+        self.splits.insert(
+            key,
+            SplitState {
+                remaining,
+                ids: vec![req.id],
+            },
+        );
+        if closes_epoch {
+            for lane in &mut self.lanes {
+                lane.sched.fence();
+            }
+            self.gate_closed = true;
+        }
+    }
+
+    fn alloc_part(&mut self, key: u64) -> ReqId {
+        let pid = self.next_part;
+        self.next_part += 1;
+        self.parts.insert(pid, key);
+        ReqId(pid)
+    }
+
+    /// Pumps every lane, then lets the sequencer release the successor
+    /// epoch once each lane has drained its share of the fenced one —
+    /// repeating until neither makes progress.
+    fn run_multi(&mut self, now: SimTime, out: &mut ActionSink<BlockAction>) {
+        loop {
+            for li in 0..self.lanes.len() {
+                self.pump_lane(li, now, out);
+            }
+            if self.gate_closed && self.lanes.iter().all(Lane::drained) {
+                self.gate_closed = false;
+                self.stats.epochs_sequenced += 1;
+                for lane in &mut self.lanes {
+                    lane.sched.release();
+                }
+                // Re-admit buffered requests; a buffered barrier closes
+                // the gate again and stops the drain (the next epoch
+                // boundary).
+                while !self.gate_closed {
+                    let Some(req) = self.front.pop_front() else {
+                        break;
+                    };
+                    self.admit(req);
+                }
+                continue; // newly admitted requests need pumping
+            }
+            break;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-lane dispatch (the single-lane fast path runs exactly this on
+    // lane 0).
+    // ------------------------------------------------------------------
+
+    fn pump_lane(&mut self, li: usize, now: SimTime, out: &mut ActionSink<BlockAction>) {
+        let di = self.topology.lane_device(li);
         let mut scratch = std::mem::take(&mut self.dev_scratch);
         loop {
             // Re-offer a held (bounced) request first to preserve order.
-            let m = match self.held.take() {
+            let m = match self.lanes[li].held.take() {
                 Some(m) => m,
                 None => {
-                    if !self.dev.can_accept() {
+                    if !self.devs[di].can_accept() {
                         break;
                     }
-                    match self.sched.dequeue() {
+                    match self.lanes[li].sched.dequeue() {
                         Some(m) => m,
                         None => break,
                     }
                 }
             };
-            let cmd = self.build_command(&m);
+            let cmd = self.build_command(di, &m);
             let ids = m.ids.clone();
             let cmd_id = cmd.id;
-            match self.dev.submit(cmd, now, &mut scratch) {
+            match self.devs[di].submit(cmd, now, &mut scratch) {
                 Ok(()) => {
                     self.stats.dispatched += 1;
-                    self.inflight.insert(cmd_id.0, ids);
-                    self.apply_dev_actions(&mut scratch, now, out);
+                    self.lanes[li].dispatched += 1;
+                    self.inflight[di].insert(cmd_id.0, ids);
+                    self.apply_dev_actions(di, &mut scratch, now, out);
                 }
                 Err(_cmd) => {
                     // Device busy: hold the request and retry later
                     // (Fig 6(b) — the kernel daemon inherits the retry).
                     self.stats.busy_retries += 1;
-                    self.held = Some(m);
-                    if !self.retry_pending {
-                        self.retry_pending = true;
-                        out.push(BlockAction::After(BUSY_RETRY_INTERVAL, BlockEvent::Retry));
+                    self.lanes[li].busy_retries += 1;
+                    self.lanes[li].held = Some(m);
+                    if !self.lanes[li].retry_pending {
+                        self.lanes[li].retry_pending = true;
+                        out.push(BlockAction::After(
+                            BUSY_RETRY_INTERVAL,
+                            BlockEvent::Retry { lane: li as u32 },
+                        ));
                     }
                     break;
                 }
@@ -195,9 +568,9 @@ impl BlockLayer {
         self.dev_scratch = scratch;
     }
 
-    fn build_command(&mut self, m: &MergedRequest) -> Command {
-        let id = CmdId(self.next_cmd);
-        self.next_cmd += 1;
+    fn build_command(&mut self, di: usize, m: &MergedRequest) -> Command {
+        let id = CmdId(self.next_cmd[di]);
+        self.next_cmd[di] += 1;
         let flags = m.req.flags;
         match &m.req.op {
             ReqOp::Write { start, tags } => {
@@ -221,6 +594,7 @@ impl BlockLayer {
     /// Drains `actions` (the reusable device scratch) into block actions.
     fn apply_dev_actions(
         &mut self,
+        di: usize,
         actions: &mut Vec<DevAction>,
         _now: SimTime,
         out: &mut ActionSink<BlockAction>,
@@ -231,19 +605,135 @@ impl BlockLayer {
                     // The sliding window makes a retired id read as
                     // absent, so a duplicated or forged completion is
                     // dropped instead of double-completing its bios.
-                    let Some(ids) = self.inflight.remove(c.id.0) else {
+                    let Some(ids) = self.inflight[di].remove(c.id.0) else {
                         debug_assert!(false, "completion for unknown command {:?}", c.id);
                         continue;
                     };
-                    for rid in ids {
-                        self.stats.completed += 1;
-                        out.push(BlockAction::Complete(rid, c.at));
+                    if self.topology.is_single() {
+                        for rid in ids {
+                            self.stats.completed += 1;
+                            out.push(BlockAction::Complete(rid, c.at));
+                        }
+                    } else {
+                        // Multi-lane: ids are internal part ids; a bio
+                        // completes when its last part does.
+                        for pid in ids {
+                            self.finish_part(pid, c.at, out);
+                        }
                     }
                 }
                 DevAction::After(d, ev) => {
-                    out.push(BlockAction::After(d, BlockEvent::Dev(ev)));
+                    out.push(BlockAction::After(
+                        d,
+                        BlockEvent::Dev { dev: di as u32, ev },
+                    ));
                 }
             }
         }
+    }
+
+    fn finish_part(&mut self, pid: ReqId, at: SimTime, out: &mut ActionSink<BlockAction>) {
+        let Some(key) = self.parts.remove(pid.0) else {
+            debug_assert!(false, "completion for unknown part {pid}");
+            return;
+        };
+        let Some(st) = self.splits.get_mut(key) else {
+            debug_assert!(false, "part {pid} names a retired split {key}");
+            return;
+        };
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            let st = self.splits.remove(key).expect("split state present");
+            for rid in st.ids {
+                self.stats.completed += 1;
+                out.push(BlockAction::Complete(rid, at));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqFlags;
+    use bio_flash::{BlockTag, DeviceProfile, Lba};
+
+    #[test]
+    fn single_lane_flags_on_flush_parts() {
+        // Barrier flags only ever appear on writes; make sure the
+        // flush fan-out path copies flags verbatim.
+        let f = BlockRequest::flush(ReqId(7));
+        assert_eq!(f.flags, ReqFlags::NONE);
+    }
+
+    #[test]
+    fn config_builder_defaults_to_single_lane() {
+        let c = BlockConfig::default();
+        assert!(c.topology.is_single());
+        let c = BlockConfig::new(SchedulerKind::Noop, DispatchMode::Legacy)
+            .with_topology(Topology::new(2, 2, 8));
+        assert_eq!(c.topology.nr_lanes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "device count must match")]
+    fn device_count_must_match_topology() {
+        let cfg = BlockConfig::default().with_topology(Topology::new(1, 2, 8));
+        BlockLayer::new(vec![Device::new(DeviceProfile::ufs(), 1)], cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "use devices()/device_at(i)")]
+    fn singular_device_accessor_panics_on_multi_device() {
+        let cfg = BlockConfig::default().with_topology(Topology::new(1, 2, 8));
+        let layer = BlockLayer::new(
+            vec![
+                Device::new(DeviceProfile::ufs(), 1),
+                Device::new(DeviceProfile::ufs(), 2),
+            ],
+            cfg,
+        );
+        let _ = layer.device();
+    }
+
+    #[test]
+    fn split_write_completes_once_all_parts_land() {
+        // 2 devices, 1-block stripes: a 4-block write splits into two
+        // 2-block parts; the bio must complete exactly once.
+        let cfg = BlockConfig::default().with_topology(Topology::new(1, 2, 1));
+        let mut layer = BlockLayer::new(
+            vec![
+                Device::new(DeviceProfile::ufs(), 1),
+                Device::new(DeviceProfile::ufs(), 2),
+            ],
+            cfg,
+        );
+        let mut out = ActionSink::new();
+        let tags = vec![BlockTag(1), BlockTag(2), BlockTag(3), BlockTag(4)];
+        layer.submit(
+            BlockRequest::write(ReqId(1), Lba(0), tags, ReqFlags::NONE),
+            SimTime::ZERO,
+            &mut out,
+        );
+        // Drive scheduled events to completion.
+        let mut q = bio_sim::EventQueue::new();
+        let mut done = 0;
+        loop {
+            for a in out.drain() {
+                match a {
+                    BlockAction::Complete(rid, _) => {
+                        assert_eq!(rid, ReqId(1));
+                        done += 1;
+                    }
+                    BlockAction::After(d, ev) => q.push_after(d, ev),
+                }
+            }
+            let Some((now, ev)) = q.pop() else { break };
+            layer.handle(ev, now, &mut out);
+        }
+        assert_eq!(done, 1, "split bio completes exactly once");
+        assert_eq!(layer.stats().split_parts, 1);
+        assert_eq!(layer.devices()[0].stats().blocks_written, 2);
+        assert_eq!(layer.devices()[1].stats().blocks_written, 2);
     }
 }

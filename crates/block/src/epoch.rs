@@ -22,6 +22,16 @@ use crate::scheduler::IoScheduler;
 
 /// The epoch scheduler: wraps any [`IoScheduler`] and adds barrier
 /// awareness.
+///
+/// In the classical single-lane stack it is self-contained: a barrier
+/// arrival blocks the queue and draining the epoch unblocks it. In a
+/// multi-lane topology each lane runs one `EpochScheduler` in
+/// *coordinated* mode: the cross-lane sequencer in the block layer calls
+/// [`EpochScheduler::fence`] on every lane when a barrier closes the
+/// global epoch, and only calls [`EpochScheduler::release`] once **every**
+/// lane reports [`EpochScheduler::is_drained`] — so no device starts the
+/// successor epoch while another lane still owes requests from the
+/// predecessor.
 #[derive(Debug)]
 pub struct EpochScheduler {
     inner: Box<dyn IoScheduler + Send>,
@@ -32,20 +42,58 @@ pub struct EpochScheduler {
     /// Set when the stripped barrier must be re-attached to the last
     /// order-preserving request leaving the queue.
     barrier_owed: bool,
+    /// Coordinated mode: fencing and release are driven externally by the
+    /// cross-lane epoch sequencer; draining never self-unblocks.
+    coordinated: bool,
     /// Barriers reassigned so far (observability for tests/metrics).
     reassignments: u64,
 }
 
 impl EpochScheduler {
-    /// Wraps an inner scheduler.
+    /// Wraps an inner scheduler (self-contained single-lane mode).
     pub fn new(inner: Box<dyn IoScheduler + Send>) -> EpochScheduler {
         EpochScheduler {
             inner,
             pending: VecDeque::new(),
             blocked: false,
             barrier_owed: false,
+            coordinated: false,
             reassignments: 0,
         }
+    }
+
+    /// Wraps an inner scheduler in coordinated (multi-lane) mode: the
+    /// caller owns epoch fencing via [`EpochScheduler::fence`] /
+    /// [`EpochScheduler::release`].
+    pub fn coordinated(inner: Box<dyn IoScheduler + Send>) -> EpochScheduler {
+        let mut s = EpochScheduler::new(inner);
+        s.coordinated = true;
+        s
+    }
+
+    /// Closes the current epoch on this lane (coordinated mode): stop
+    /// admitting requests, and owe a barrier to the last order-preserving
+    /// request if the lane holds any — that request closes the epoch on
+    /// this lane's device.
+    pub fn fence(&mut self) {
+        debug_assert!(self.coordinated, "fence is driven by the sequencer");
+        self.blocked = true;
+        if self.inner.contains_ordered() {
+            self.barrier_owed = true;
+        }
+    }
+
+    /// True when this lane has dispatched its share of the fenced epoch
+    /// (no order-preserving requests left in the inner scheduler).
+    pub fn is_drained(&self) -> bool {
+        !self.inner.contains_ordered()
+    }
+
+    /// Reopens the lane after every lane drained the fenced epoch
+    /// (coordinated mode).
+    pub fn release(&mut self) {
+        debug_assert!(self.coordinated, "release is driven by the sequencer");
+        self.unblock();
     }
 
     /// True while the queue refuses new requests (epoch draining).
@@ -59,6 +107,10 @@ impl EpochScheduler {
     }
 
     fn accept(&mut self, mut req: BlockRequest) {
+        debug_assert!(
+            !(self.coordinated && req.flags.barrier),
+            "coordinated lanes receive barrier parts pre-stripped by the sequencer"
+        );
         if req.flags.barrier {
             // Strip the barrier flag, remember we owe one, and block.
             req.flags.barrier = false;
@@ -101,7 +153,7 @@ impl IoScheduler for EpochScheduler {
                 self.barrier_owed = false;
                 self.reassignments += 1;
             }
-            if self.blocked {
+            if self.blocked && !self.coordinated {
                 self.unblock();
             }
         }

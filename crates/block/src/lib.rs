@@ -12,17 +12,21 @@
 //! * [`BlockLayer`] implements Order-Preserving Dispatch: barrier writes
 //!   go out with the SCSI `ordered` priority, device-busy bounces retry on
 //!   a timer, and merged requests fan completions back out to every
-//!   constituent bio.
+//!   constituent bio;
+//! * [`Topology`] generalises the layer to N hardware queues × M devices
+//!   (blk-mq style lanes with RAID-0 LBA striping); a cross-lane epoch
+//!   sequencer keeps barrier epochs globally ordered across lanes. The
+//!   default 1×1 topology is exactly the classical single-queue stack.
 //!
 //! ```
 //! use bio_block::{
-//!     ActionSink, BlockLayer, BlockRequest, DispatchMode, ReqFlags, ReqId, SchedulerKind,
+//!     ActionSink, BlockConfig, BlockLayer, BlockRequest, ReqFlags, ReqId,
 //! };
 //! use bio_flash::{BlockTag, Device, DeviceProfile, Lba};
 //! use bio_sim::SimTime;
 //!
 //! let dev = Device::new(DeviceProfile::ufs(), 7);
-//! let mut layer = BlockLayer::new(dev, SchedulerKind::Elevator, DispatchMode::OrderPreserving);
+//! let mut layer = BlockLayer::new(vec![dev], BlockConfig::default());
 //! // One reusable sink serves every submit/handle call.
 //! let mut out = ActionSink::new();
 //! let req = BlockRequest::write(ReqId(1), Lba(0), vec![BlockTag(1)], ReqFlags::BARRIER);
@@ -37,13 +41,16 @@ mod dispatch;
 mod epoch;
 mod request;
 mod scheduler;
+mod topology;
 
 pub use bio_sim::ActionSink;
 pub use dispatch::{
-    BlockAction, BlockEvent, BlockLayer, BlockStats, DispatchMode, BUSY_RETRY_INTERVAL,
+    BlockAction, BlockConfig, BlockEvent, BlockLayer, BlockStats, DispatchMode, LaneStats,
+    BUSY_RETRY_INTERVAL,
 };
 pub use epoch::EpochScheduler;
 pub use request::{BlockRequest, MergedRequest, ReqFlags, ReqId, ReqOp};
 pub use scheduler::{
     ElevatorScheduler, IoScheduler, NoopScheduler, SchedulerKind, MAX_MERGE_BLOCKS,
 };
+pub use topology::Topology;

@@ -1,0 +1,78 @@
+//! Property tests for the RAID-0 stripe addressing in [`Topology`].
+//!
+//! Two invariants back the multi-device refactor:
+//!
+//! * `locate` / `global` are exact inverses — no address is lost or
+//!   aliased by striping;
+//! * `split_range` partitions a global block range: every block lands in
+//!   exactly one per-device run, lengths sum to the range, and each
+//!   device's run is contiguous in its local address space.
+
+use bio_block::Topology;
+use bio_flash::Lba;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn locate_global_round_trip(
+        queues in 1usize..8,
+        devices in 1usize..6,
+        stripe in 1u64..32,
+        lba in 0u64..100_000,
+    ) {
+        let t = Topology::new(queues, devices, stripe);
+        let (dev, local) = t.locate(Lba(lba));
+        prop_assert!(dev < devices);
+        prop_assert_eq!(t.global(dev, local), Lba(lba));
+    }
+
+    #[test]
+    fn global_locate_round_trip(
+        devices in 1usize..6,
+        stripe in 1u64..32,
+        dev in 0usize..6,
+        local in 0u64..50_000,
+    ) {
+        let t = Topology::new(1, devices, stripe);
+        let dev = dev % devices;
+        let g = t.global(dev, Lba(local));
+        prop_assert_eq!(t.locate(g), (dev, Lba(local)));
+    }
+
+    #[test]
+    fn split_range_partitions_the_range(
+        devices in 1usize..6,
+        stripe in 1u64..16,
+        start in 0u64..10_000,
+        count in 1u64..200,
+    ) {
+        let t = Topology::new(1, devices, stripe);
+        let parts = t.split_range(Lba(start), count);
+        // Lengths cover the range, at most one run per device.
+        prop_assert_eq!(parts.iter().map(|p| p.3).sum::<u64>(), count);
+        prop_assert!(parts.len() <= devices);
+        for (i, (dev, local, off, len)) in parts.iter().enumerate() {
+            prop_assert!(*dev < devices);
+            prop_assert!(*off + *len <= count);
+            prop_assert!(parts.iter().skip(i + 1).all(|p| p.0 != *dev),
+                "one run per device");
+            // The run is the image of exactly its global blocks.
+            for k in 0..*len {
+                let g = t.global(*dev, Lba(local.0 + k));
+                prop_assert!(g.0 >= start && g.0 < start + count,
+                    "local block maps back inside the range");
+            }
+        }
+        // Every global block is covered by exactly one run.
+        for g in start..start + count {
+            let (gd, gl) = t.locate(Lba(g));
+            let hits = parts
+                .iter()
+                .filter(|(d, l, _, n)| gd == *d && gl.0 >= l.0 && gl.0 < l.0 + n)
+                .count();
+            prop_assert_eq!(hits, 1, "block {} covered once", g);
+        }
+    }
+}

@@ -1,5 +1,5 @@
-//! Stack configuration: which filesystem, scheduler, dispatch mode and
-//! device make up one experiment cell.
+//! Stack configuration: which filesystem, scheduler, dispatch mode,
+//! topology and device make up one experiment cell.
 //!
 //! The paper's experiment matrix is spanned by presets:
 //!
@@ -8,18 +8,36 @@
 //! | EXT4-DR | [`StackConfig::ext4_dr`] | stock EXT4, durability guarantee |
 //! | EXT4-OD | [`StackConfig::ext4_od`] | EXT4 `nobarrier`, ordering only |
 //! | BFS-DR | [`StackConfig::bfs`] + `fsync` | BarrierFS, durability guarantee |
-//! | BFS-OD | [`StackConfig::bfs`] + `fbarrier` | BarrierFS, ordering only |
+//! | BFS-OD | [`StackConfig::bfs().ordering_only()`] + `fbarrier` | BarrierFS, ordering only |
 //! | OptFS | [`StackConfig::optfs`] | osync-based ordering |
 
-use bio_block::{DispatchMode, SchedulerKind};
+use bio_block::{DispatchMode, SchedulerKind, Topology};
 use bio_flash::DeviceProfile;
 use bio_fs::{FsConfig, FsMode};
 use bio_sim::SimDuration;
 
+/// What a "sync" means in the workload driving this stack: full
+/// durability (`fsync`-style, the DR rows of the paper's tables) or
+/// ordering only (`fbarrier`/`osync`/`nobarrier`, the OD rows).
+///
+/// The discipline is a labelling concern — the workload decides which
+/// syscall it issues — but recording it on the config lets
+/// [`StackConfig::label`] distinguish BFS-DR from BFS-OD instead of
+/// rendering both as `BarrierFS@…`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncDiscipline {
+    /// Syncs make data durable before returning (DR).
+    #[default]
+    Durability,
+    /// Syncs only order updates; durability is not waited on (OD).
+    OrderingOnly,
+}
+
 /// Complete configuration of one simulated IO stack.
 #[derive(Debug, Clone)]
 pub struct StackConfig {
-    /// Device parameters.
+    /// Device parameters (every device in a multi-device topology uses
+    /// this profile).
     pub device: DeviceProfile,
     /// Filesystem parameters.
     pub fs: FsConfig,
@@ -27,6 +45,10 @@ pub struct StackConfig {
     pub scheduler: SchedulerKind,
     /// Dispatch discipline.
     pub dispatch: DispatchMode,
+    /// Lane topology: hardware queues × devices (default 1×1).
+    pub topology: Topology,
+    /// Sync discipline the driving workload uses (labels only).
+    pub discipline: SyncDiscipline,
     /// Master seed; every run with the same config and seed is identical.
     pub seed: u64,
     /// CPU cost charged per issued syscall (keeps zero-time loops honest).
@@ -48,18 +70,19 @@ impl StackConfig {
     /// EXT4 mounted `nobarrier` (EXT4-OD rows): ordering by transfer
     /// waits only, no flush anywhere.
     pub fn ext4_od(device: DeviceProfile) -> StackConfig {
-        StackConfig::base(device, FsMode::Ext4NoBarrier, DispatchMode::Legacy)
+        StackConfig::base(device, FsMode::Ext4NoBarrier, DispatchMode::Legacy).ordering_only()
     }
 
     /// BarrierFS over the order-preserving block layer. Use `fsync` for
-    /// BFS-DR and `fbarrier`/`fdatabarrier` for BFS-OD.
+    /// BFS-DR and `fbarrier`/`fdatabarrier` plus
+    /// [`StackConfig::ordering_only`] for BFS-OD.
     pub fn bfs(device: DeviceProfile) -> StackConfig {
         StackConfig::base(device, FsMode::BarrierFs, DispatchMode::OrderPreserving)
     }
 
     /// OptFS-style optimistic crash consistency (osync).
     pub fn optfs(device: DeviceProfile) -> StackConfig {
-        StackConfig::base(device, FsMode::OptFs, DispatchMode::Legacy)
+        StackConfig::base(device, FsMode::OptFs, DispatchMode::Legacy).ordering_only()
     }
 
     fn base(device: DeviceProfile, mode: FsMode, dispatch: DispatchMode) -> StackConfig {
@@ -68,6 +91,8 @@ impl StackConfig {
             fs: FsConfig::new(mode),
             scheduler: SchedulerKind::Elevator,
             dispatch,
+            topology: Topology::single(),
+            discipline: SyncDiscipline::Durability,
             seed: 42,
             cpu_per_op: SimDuration::from_micros(2),
             congestion_limit: 128,
@@ -88,15 +113,47 @@ impl StackConfig {
         self
     }
 
-    /// Short label for reports ("EXT4@plain-SSD" etc.).
+    /// Builder-style lane topology override.
+    pub fn with_topology(mut self, topology: Topology) -> StackConfig {
+        self.topology = topology;
+        self
+    }
+
+    /// Marks the workload as ordering-only (OD labels: the workload syncs
+    /// with `fbarrier`/`osync`-class calls instead of `fsync`).
+    pub fn ordering_only(mut self) -> StackConfig {
+        self.discipline = SyncDiscipline::OrderingOnly;
+        self
+    }
+
+    /// Short stack name encoding filesystem and sync discipline, matching
+    /// the paper's row labels: `EXT4-DR`, `EXT4-OD`, `BFS-DR`, `BFS-OD`,
+    /// `OptFS`.
+    pub fn stack_label(&self) -> &'static str {
+        match (self.fs.mode, self.discipline) {
+            (FsMode::Ext4, SyncDiscipline::Durability) => "EXT4-DR",
+            (FsMode::Ext4, SyncDiscipline::OrderingOnly) => "EXT4-nb-OD",
+            (FsMode::Ext4NoBarrier, _) => "EXT4-OD",
+            (FsMode::BarrierFs, SyncDiscipline::Durability) => "BFS-DR",
+            (FsMode::BarrierFs, SyncDiscipline::OrderingOnly) => "BFS-OD",
+            (FsMode::OptFs, _) => "OptFS",
+        }
+    }
+
+    /// Full label for reports: stack, device and — when not the classical
+    /// 1×1 — the lane topology (`BFS-OD@plain-SSD 8q×4dev`).
     pub fn label(&self) -> String {
-        let fs = match self.fs.mode {
-            FsMode::Ext4 => "EXT4",
-            FsMode::Ext4NoBarrier => "EXT4-nobarrier",
-            FsMode::BarrierFs => "BarrierFS",
-            FsMode::OptFs => "OptFS",
-        };
-        format!("{fs}@{}", self.device.name)
+        if self.topology.is_single() {
+            format!("{}@{}", self.stack_label(), self.device.name)
+        } else {
+            format!(
+                "{}@{} {}q×{}dev",
+                self.stack_label(),
+                self.device.name,
+                self.topology.nr_hw_queues,
+                self.topology.nr_devices
+            )
+        }
     }
 }
 
@@ -121,15 +178,32 @@ mod tests {
     #[test]
     fn labels_are_informative() {
         let c = StackConfig::bfs(DeviceProfile::plain_ssd());
-        assert_eq!(c.label(), "BarrierFS@plain-SSD");
+        assert_eq!(c.label(), "BFS-DR@plain-SSD");
+        assert_eq!(c.ordering_only().label(), "BFS-OD@plain-SSD");
+        let c = StackConfig::ext4_dr(DeviceProfile::ufs());
+        assert_eq!(c.label(), "EXT4-DR@UFS");
+        assert_eq!(
+            StackConfig::ext4_od(DeviceProfile::ufs()).stack_label(),
+            "EXT4-OD"
+        );
+    }
+
+    #[test]
+    fn labels_encode_topology() {
+        let c = StackConfig::bfs(DeviceProfile::plain_ssd())
+            .ordering_only()
+            .with_topology(Topology::new(8, 4, 8));
+        assert_eq!(c.label(), "BFS-OD@plain-SSD 8q×4dev");
     }
 
     #[test]
     fn builders() {
         let c = StackConfig::bfs(DeviceProfile::ufs())
             .with_seed(7)
-            .with_history();
+            .with_history()
+            .with_topology(Topology::new(2, 2, 16));
         assert_eq!(c.seed, 7);
         assert!(c.record_history);
+        assert_eq!(c.topology.nr_lanes(), 4);
     }
 }

@@ -48,13 +48,13 @@ mod metrics;
 mod ops;
 mod stack;
 
-pub use config::StackConfig;
+pub use config::{StackConfig, SyncDiscipline};
 pub use metrics::{Metrics, OpMetrics, OpReport, RunReport};
 pub use ops::{FileRef, FnWorkload, Op, OpKind, ScriptWorkload, Workload};
 pub use stack::{CrashReport, IoStack, StackReport};
 
 // Re-export the vocabulary types callers need alongside the stack.
-pub use bio_block::{DispatchMode, SchedulerKind};
+pub use bio_block::{BlockConfig, DispatchMode, LaneStats, SchedulerKind, Topology};
 pub use bio_flash::{BarrierMode, DeviceProfile};
 pub use bio_fs::{FsConfig, FsMode, FsViolation, ThreadId};
 pub use bio_sim::{SimDuration, SimTime};

@@ -2,7 +2,9 @@
 //! deterministic event loop, with simulated application threads driving
 //! workloads.
 
-use bio_block::{BlockAction, BlockEvent, BlockLayer, BlockStats};
+use std::collections::HashMap;
+
+use bio_block::{BlockAction, BlockConfig, BlockEvent, BlockLayer, BlockStats, LaneStats};
 use bio_flash::{audit_epoch_order, Device, DeviceStats, EpochViolation, FtlStats, PersistedImage};
 use bio_fs::{
     check_crash_consistency, FileId, Filesystem, FsAction, FsEvent, FsStats, FsViolation,
@@ -52,10 +54,15 @@ pub struct StackReport {
     pub mean_qd: f64,
     /// Peak device queue depth over the measured window.
     pub peak_qd: f64,
-    /// Device counters (deltas over the measured window are up to the
-    /// caller; these are totals).
+    /// Device counters summed over every device (deltas over the measured
+    /// window are up to the caller; these are totals).
     pub device: DeviceStats,
-    /// FTL counters.
+    /// Per-device counters, in device-index order (one entry on the
+    /// classical 1×1 topology).
+    pub per_device: Vec<DeviceStats>,
+    /// Per-lane dispatch counters, in lane-index order.
+    pub lanes: Vec<LaneStats>,
+    /// FTL counters summed over every device.
     pub ftl: FtlStats,
     /// Filesystem counters.
     pub fs: FsStats,
@@ -104,11 +111,27 @@ pub struct IoStack {
 }
 
 impl IoStack {
-    /// Builds the stack from a configuration.
+    /// Builds the stack from a configuration. A multi-device topology
+    /// instantiates one device per slot from the same profile; device 0
+    /// keeps the master seed (so the 1×1 stack is bit-identical with the
+    /// pre-topology stack) and the rest derive theirs from it.
     pub fn new(cfg: StackConfig) -> IoStack {
-        let mut device = Device::new(cfg.device.clone(), cfg.seed);
-        device.record_history(cfg.record_history);
-        let block = BlockLayer::new(device, cfg.scheduler, cfg.dispatch);
+        let devices = (0..cfg.topology.nr_devices)
+            .map(|i| {
+                let seed = cfg.seed ^ 0xA076_1D64_78BD_642Fu64.wrapping_mul(i as u64);
+                let mut device = Device::new(cfg.device.clone(), seed);
+                device.record_history(cfg.record_history);
+                device
+            })
+            .collect();
+        let block = BlockLayer::new(
+            devices,
+            BlockConfig {
+                scheduler: cfg.scheduler,
+                dispatch: cfg.dispatch,
+                topology: cfg.topology,
+            },
+        );
         let fs = Filesystem::new(cfg.fs.clone());
         let mut stack = IoStack {
             q: EventQueue::new(),
@@ -140,9 +163,29 @@ impl IoStack {
         self.q.now()
     }
 
-    /// Direct device access (stats, queue-depth series).
+    /// Single-device convenience accessor (stats, queue-depth series).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-device topology; use [`IoStack::devices`] or
+    /// [`IoStack::device_at`] there.
     pub fn device(&self) -> &Device {
+        assert!(
+            self.block.devices().len() == 1,
+            "IoStack::device() on a {}-device topology; use devices()/device_at(i)",
+            self.block.devices().len()
+        );
         self.block.device()
+    }
+
+    /// All devices, in device-index order.
+    pub fn devices(&self) -> &[Device] {
+        self.block.devices()
+    }
+
+    /// Device `i` of the topology.
+    pub fn device_at(&self, i: usize) -> &Device {
+        self.block.device_at(i)
     }
 
     /// Direct filesystem access.
@@ -431,17 +474,49 @@ impl IoStack {
     pub fn start_measuring(&mut self) {
         self.measure_start = self.q.now();
         self.metrics.reset(self.q.now());
-        self.dev_blocks_at_start = self.block.device().stats().blocks_written;
+        self.dev_blocks_at_start = self
+            .block
+            .devices()
+            .iter()
+            .map(|d| d.stats().blocks_written)
+            .sum();
     }
 
-    /// Builds the report for the measured window.
+    /// Builds the report for the measured window. Device and FTL counters
+    /// are summed over every device; queue depth is the mean of the
+    /// per-device means (and the max of the per-device peaks).
     pub fn report(&self) -> StackReport {
         let now = self.q.now();
         let run = self.metrics.report(now);
         let secs = now.saturating_since(self.measure_start).as_secs_f64();
-        let dev = self.block.device().stats();
+        let per_device: Vec<DeviceStats> = self.block.devices().iter().map(|d| d.stats()).collect();
+        let mut dev = DeviceStats::default();
+        for s in &per_device {
+            dev.write_cmds += s.write_cmds;
+            dev.read_cmds += s.read_cmds;
+            dev.flush_cmds += s.flush_cmds;
+            dev.blocks_written += s.blocks_written;
+            dev.programs += s.programs;
+            dev.cache_hit_reads += s.cache_hit_reads;
+            dev.queue_full_rejections += s.queue_full_rejections;
+        }
+        let mut ftl = FtlStats::default();
+        for d in self.block.devices() {
+            let f = d.ftl_stats();
+            ftl.host_appends += f.host_appends;
+            ftl.gc_appends += f.gc_appends;
+            ftl.gc_runs += f.gc_runs;
+            ftl.erases += f.erases;
+        }
         let blocks = dev.blocks_written - self.dev_blocks_at_start;
-        let qd = self.block.device().qd_series();
+        let mut mean_qd = 0.0;
+        let mut peak_qd = 0.0f64;
+        for d in self.block.devices() {
+            let qd = d.qd_series();
+            mean_qd += qd.weighted_mean(self.measure_start, now);
+            peak_qd = peak_qd.max(qd.max_in(self.measure_start, now));
+        }
+        mean_qd /= self.block.devices().len() as f64;
         StackReport {
             run,
             write_kiops: if secs > 0.0 {
@@ -449,23 +524,42 @@ impl IoStack {
             } else {
                 0.0
             },
-            mean_qd: qd.weighted_mean(self.measure_start, now),
-            peak_qd: qd.max_in(self.measure_start, now),
+            mean_qd,
+            peak_qd,
             device: dev,
-            ftl: self.block.device().ftl_stats(),
+            per_device,
+            lanes: self.block.lane_stats(),
+            ftl,
             fs: self.fs.stats(),
             block: self.block.stats(),
         }
     }
 
     /// Injects a power failure right now and audits the survivors.
+    ///
+    /// On a multi-device topology the per-device images are remapped
+    /// through the stripe layout into one global image for the
+    /// filesystem-level audit; the device-level epoch audit runs per
+    /// device against that device's own local image and history.
     pub fn crash(&self) -> CrashReport {
-        let image = self.block.device().crash_image();
-        let fs_violations = check_crash_consistency(self.fs.records(), &image);
-        let epoch_violations = match self.block.device().history() {
-            Some(h) => audit_epoch_order(h, &image),
-            None => Vec::new(),
+        let image = if self.cfg.topology.is_single() {
+            self.block.device().crash_image()
+        } else {
+            let mut map = HashMap::new();
+            for (di, d) in self.block.devices().iter().enumerate() {
+                for (local, tag) in d.crash_image().iter() {
+                    map.insert(self.cfg.topology.global(di, local), tag);
+                }
+            }
+            PersistedImage::from_map(map)
         };
+        let fs_violations = check_crash_consistency(self.fs.records(), &image);
+        let mut epoch_violations = Vec::new();
+        for d in self.block.devices() {
+            if let Some(h) = d.history() {
+                epoch_violations.extend(audit_epoch_order(h, &d.crash_image()));
+            }
+        }
         CrashReport {
             image,
             fs_violations,
