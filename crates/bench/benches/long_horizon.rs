@@ -1,0 +1,106 @@
+//! Long-horizon macro-benchmark: wall-clock cost of one *simulated hour*
+//! of steady-state OLTP and DWSL, on EXT4-DR and BFS-OD at the 1×1
+//! topology.
+//!
+//! Every other bench in this suite measures a short window; this one
+//! measures the regime the ROADMAP's traffic-engine and crash-enumeration
+//! items live in, where per-event dispatch overhead and per-commit
+//! allocation churn dominate. Both workloads run as rate-bounded clients
+//! (`with_think`) against an hour-capacity device: a zero-latency sync
+//! loop is not a meaningful hour-long workload — it would outgrow any
+//! finite device's physical capacity within simulated minutes.
+//!
+//! The simulated window defaults to a full hour; CI and quick local runs
+//! can shrink it with `LONG_HORIZON_SIM_SECS` (the reported number is
+//! always wall-clock for the configured window).
+
+use barrier_io::{DeviceProfile, FileRef, IoStack, StackConfig, Workload};
+use bio_sim::SimDuration;
+use bio_workloads::{Dwsl, OltpInsert, SyncMode};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Simulated seconds per sample (default: one hour).
+fn sim_secs() -> u64 {
+    std::env::var("LONG_HORIZON_SIM_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3600)
+}
+
+/// The paper's plain SSD geometry scaled to hour-long capacity (~32 GiB):
+/// the stock 1 GiB lab geometry keeps GC experiments fast, but an hour of
+/// steady appends needs a production-sized data region.
+fn hour_device() -> DeviceProfile {
+    let mut p = DeviceProfile::plain_ssd();
+    p.segments = 16 * 1024;
+    p
+}
+
+/// Per-transaction client latency for the DWSL appenders.
+const DWSL_THINK: SimDuration = SimDuration::from_millis(5);
+/// Per-transaction client latency for the OLTP client.
+const OLTP_THINK: SimDuration = SimDuration::from_millis(10);
+/// Binlog rotation bound (blocks): 1M × 4 KiB = 4 GiB of retained logs.
+const BINLOG_BLOCKS: u64 = 1 << 20;
+
+fn run_dwsl(cfg: StackConfig, sync: SyncMode, secs: u64) -> u64 {
+    let mut stack = IoStack::new(cfg);
+    stack.add_thread(Box::new(Dwsl::new(sync, u64::MAX).with_think(DWSL_THINK)));
+    stack.run_for(SimDuration::from_secs(secs));
+    stack.device().stats().blocks_written
+}
+
+fn run_oltp(cfg: StackConfig, sync: SyncMode, secs: u64) -> u64 {
+    let mut stack = IoStack::new(cfg);
+    let table = stack.create_global_file();
+    let redo = stack.create_global_file();
+    let binlog = stack.create_global_file();
+    let w: Box<dyn Workload> = Box::new(
+        OltpInsert::new(
+            sync,
+            FileRef::Global(table),
+            FileRef::Global(redo),
+            FileRef::Global(binlog),
+            u64::MAX,
+        )
+        .with_binlog_blocks(BINLOG_BLOCKS)
+        .with_think(OLTP_THINK),
+    );
+    stack.add_thread(w);
+    stack.run_for(SimDuration::from_secs(secs));
+    stack.device().stats().blocks_written
+}
+
+fn bench(c: &mut Criterion) {
+    let secs = sim_secs();
+    let mut g = c.benchmark_group("long_horizon");
+    g.sample_size(2);
+    g.bench_function("dwsl_ext4_dr_plain_ssd", |b| {
+        b.iter(|| run_dwsl(StackConfig::ext4_dr(hour_device()), SyncMode::Fsync, secs))
+    });
+    g.bench_function("dwsl_bfs_od_plain_ssd", |b| {
+        b.iter(|| {
+            run_dwsl(
+                StackConfig::bfs(hour_device()).ordering_only(),
+                SyncMode::Fbarrier,
+                secs,
+            )
+        })
+    });
+    g.bench_function("oltp_ext4_dr_plain_ssd", |b| {
+        b.iter(|| run_oltp(StackConfig::ext4_dr(hour_device()), SyncMode::Fsync, secs))
+    });
+    g.bench_function("oltp_bfs_od_plain_ssd", |b| {
+        b.iter(|| {
+            run_oltp(
+                StackConfig::bfs(hour_device()).ordering_only(),
+                SyncMode::Fbarrier,
+                secs,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -208,13 +208,35 @@ impl File {
     }
 
     /// Resolves a file block offset to its LBA, if allocated.
+    ///
+    /// The extent list is kept sorted by file offset and non-overlapping
+    /// (see [`File::insert_extent`]), so at most one extent can contain
+    /// `block`: the last one starting at or before it.
     pub fn lba_of(&self, block: u64) -> Option<Lba> {
-        for &(off, lba, len) in &self.extents {
-            if block >= off && block < off + len {
-                return Some(Lba(lba.0 + (block - off)));
+        let idx = self.extents.partition_point(|&(off, _, _)| off <= block);
+        let &(off, lba, len) = self.extents.get(idx.checked_sub(1)?)?;
+        (block < off + len).then(|| Lba(lba.0 + (block - off)))
+    }
+
+    /// Number of extents (for tests and diagnostics).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Inserts a run at its sorted position, merging into the preceding
+    /// extent when the run is contiguous in both file offset and LBA —
+    /// which every append is, because the data allocator is a bump
+    /// allocator. Without the merge an append-heavy file accumulates one
+    /// extent per write and every later lookup pays for all of them.
+    fn insert_extent(&mut self, start: u64, lba: Lba, len: u64) {
+        let idx = self.extents.partition_point(|&(off, _, _)| off <= start);
+        if let Some((poff, plba, plen)) = idx.checked_sub(1).map(|i| &mut self.extents[i]) {
+            if *poff + *plen == start && plba.0 + *plen == lba.0 {
+                *plen += len;
+                return;
             }
         }
-        None
+        self.extents.insert(idx, (start, lba, len));
     }
 }
 
@@ -286,19 +308,31 @@ impl FileTable {
         let file = &mut self.files[id.0 as usize];
         let end = offset + n;
         let mut allocated = false;
-        // Allocate any missing tail as one extent (files grow mostly
-        // append-style in the workloads).
+        // One allocation covers everything from the first unallocated
+        // block to `end` (files grow mostly append-style in the
+        // workloads). Already-allocated blocks inside that span keep
+        // their existing mapping; only the holes get extents pointing
+        // into the fresh run, so the extent list stays non-overlapping.
         let mut cursor = offset;
-        while cursor < end {
-            if file.lba_of(cursor).is_some() {
-                cursor += 1;
-                continue;
-            }
-            let run_len = end - cursor;
-            let lba = layout.alloc_data(run_len);
-            file.extents.push((cursor, lba, run_len));
+        while cursor < end && file.lba_of(cursor).is_some() {
+            cursor += 1;
+        }
+        if cursor < end {
+            let base = layout.alloc_data(end - cursor);
             allocated = true;
-            cursor = end;
+            let mut a = cursor;
+            while a < end {
+                if file.lba_of(a).is_some() {
+                    a += 1;
+                    continue;
+                }
+                let mut b = a + 1;
+                while b < end && file.lba_of(b).is_none() {
+                    b += 1;
+                }
+                file.insert_extent(a, Lba(base.0 + (a - cursor)), b - a);
+                a = b;
+            }
         }
         if end > file.size_blocks {
             file.size_blocks = end;
@@ -346,6 +380,41 @@ mod tests {
         assert_eq!(lba3.0, lba0.0 + 3);
         // Re-allocating the same range is a no-op.
         assert!(!ft.ensure_allocated(f, &mut l, 0, 4));
+    }
+
+    #[test]
+    fn appends_merge_into_one_extent() {
+        let (mut ft, mut l) = setup();
+        let f = ft.create(&mut l);
+        for block in 0..16 {
+            ft.ensure_allocated(f, &mut l, block, 1);
+        }
+        let file = ft.get(f);
+        assert_eq!(file.extent_count(), 1, "bump-allocated appends merge");
+        let lba0 = file.lba_of(0).unwrap();
+        for block in 0..16 {
+            assert_eq!(file.lba_of(block), Some(Lba(lba0.0 + block)));
+        }
+    }
+
+    #[test]
+    fn spanning_write_keeps_existing_mappings() {
+        // Allocate [5, 7), then write [0, 10): the span allocation must
+        // not remap the already-allocated middle, and the holes on both
+        // sides resolve into the fresh run.
+        let (mut ft, mut l) = setup();
+        let f = ft.create(&mut l);
+        ft.ensure_allocated(f, &mut l, 5, 2);
+        let old5 = ft.get(f).lba_of(5).unwrap();
+        ft.ensure_allocated(f, &mut l, 0, 10);
+        let file = ft.get(f);
+        assert_eq!(file.lba_of(5), Some(old5), "overlap keeps old mapping");
+        assert_eq!(file.lba_of(6), Some(Lba(old5.0 + 1)));
+        let new0 = file.lba_of(0).unwrap();
+        assert_eq!(file.lba_of(4), Some(Lba(new0.0 + 4)), "leading hole");
+        assert_eq!(file.lba_of(7), Some(Lba(new0.0 + 7)), "trailing hole");
+        assert_eq!(file.lba_of(10), None);
+        assert_eq!(file.size_blocks, 10);
     }
 
     #[test]

@@ -226,6 +226,17 @@ pub struct Filesystem {
     /// Dirty-page count above which writes trigger inline writeback
     /// (the kernel's dirty-ratio behaviour).
     dirty_threshold: u64,
+    /// Commit-path arena: retired transaction carcasses recycled by
+    /// `ensure_running` (see [`Txn::reset`]). Bounded by the maximum
+    /// number of concurrently live transactions, which the journal-space
+    /// accounting already caps.
+    pub(crate) txn_pool: Vec<Txn>,
+    /// Scratch for the file-id walks of freeze/release (commit path runs
+    /// once per transaction; collecting into a fresh `Vec` each time is
+    /// pure allocator churn).
+    pub(crate) scratch_files: Vec<FileId>,
+    /// Scratch for checkpoint write lists (same lifecycle).
+    pub(crate) scratch_writes: Vec<(Lba, BlockTag)>,
 }
 
 impl Filesystem {
@@ -267,6 +278,9 @@ impl Filesystem {
             stats: FsStats::default(),
             dirty_total: 0,
             dirty_threshold: 256,
+            txn_pool: Vec::new(),
+            scratch_files: Vec::new(),
+            scratch_writes: Vec::new(),
             cfg,
         }
     }
@@ -452,7 +466,14 @@ impl Filesystem {
         }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        self.txns.insert(id, Txn::new(id));
+        let txn = match self.txn_pool.pop() {
+            Some(mut t) => {
+                t.reset(id);
+                t
+            }
+            None => Txn::new(id),
+        };
+        self.txns.insert(id, txn);
         self.running = Some(id);
         id
     }

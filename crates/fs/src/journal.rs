@@ -35,7 +35,7 @@ use crate::config::FsMode;
 use crate::file::FileId;
 use crate::fs::{AfterData, Filesystem, FsAction, FsEvent, Purpose, SyscallOutcome};
 use crate::recovery::TxnRecord;
-use crate::txn::{ThreadId, TxnId, TxnState};
+use crate::txn::{ThreadId, Txn, TxnId, TxnState};
 
 /// Why a journal-path event could not be applied. These conditions are
 /// drivable from outside the filesystem (a replayed interrupt, a forged
@@ -157,15 +157,16 @@ impl Filesystem {
             }
             // Wake fbarrier callers: ordering is now in flight (§4.2, "in
             // ordering guarantee the commit thread wakes up the caller").
-            let waiters = match self.txns.get_mut(rt) {
+            let mut waiters = match self.txns.get_mut(rt) {
                 Some(t) => std::mem::take(&mut t.dispatch_waiters),
                 None => Vec::new(),
             };
-            for tid in waiters {
+            for tid in waiters.drain(..) {
                 self.clear_syscall(tid);
                 out.push(FsAction::CtxSwitch(tid));
                 out.push(FsAction::Wake(tid));
             }
+            self.restore_waiter_buf(rt, waiters, |t| &mut t.dispatch_waiters);
             // Loop: if another running transaction with a pending request
             // appeared, commit it too (committing list grows).
         }
@@ -183,21 +184,24 @@ impl Filesystem {
             return false;
         }
         self.journal_used += blocks;
+        let mut buffers = std::mem::take(&mut self.scratch_files);
         let Some(txn) = self.txns.get_mut(rt) else {
+            self.scratch_files = buffers;
             return false;
         };
         txn.state = TxnState::Committing;
-        let buffers: Vec<FileId> = txn.buffers.iter().map(|(_, f, _)| *f).collect();
+        buffers.extend(txn.buffers.iter().map(|(_, f, _)| *f));
         self.committing.push(rt);
         self.running = None;
         self.stats.commits += 1;
         // Clear per-file dirt for the frozen buffers; the buffers stay
         // owned by this transaction until release.
-        for f in buffers {
+        for f in buffers.drain(..) {
             let file = self.files.get_mut(f);
             file.alloc_dirty = false;
             file.mtime_dirty = false;
         }
+        self.scratch_files = buffers;
         true
     }
 
@@ -215,7 +219,10 @@ impl Filesystem {
         let jc_lba = bio_flash::Lba(lba.0 + jd_blocks);
         if let Some(t) = self.txns.get_mut(txn) {
             t.jd_lba = Some(lba);
-            t.jd_tags = tags.clone();
+            // Copy into the (recycled) tag buffer instead of cloning:
+            // `tags` itself is moved into the request payload below.
+            t.jd_tags.clear();
+            t.jd_tags.extend_from_slice(&tags);
             t.jc_lba = Some(jc_lba);
         }
         let rid = self.alloc_req(Purpose::Jd(txn));
@@ -278,6 +285,9 @@ impl Filesystem {
             debug_assert!(false, "record_txn before journal placement");
             return;
         };
+        // Ascending-id order is what lets `mark_durable` binary-search
+        // this ever-growing history.
+        debug_assert!(self.records.last().is_none_or(|r| r.id < txn.0));
         self.records.push(TxnRecord {
             id: txn.0,
             jd_lba,
@@ -324,12 +334,13 @@ impl Filesystem {
         }
         t.state = TxnState::Transferred;
         // OptFS osync waiters are satisfied by the transfer.
-        let transfer_waiters = std::mem::take(&mut t.transfer_waiters);
-        for tid in transfer_waiters {
+        let mut transfer_waiters = std::mem::take(&mut t.transfer_waiters);
+        for tid in transfer_waiters.drain(..) {
             self.clear_syscall(tid);
             out.push(FsAction::CtxSwitch(tid));
             out.push(FsAction::Wake(tid));
         }
+        self.restore_waiter_buf(txn, transfer_waiters, |t| &mut t.transfer_waiters);
         match self.cfg.mode {
             FsMode::Ext4 => {
                 // JC carried FLUSH|FUA: everything up to here is durable.
@@ -426,6 +437,26 @@ impl Filesystem {
         }
     }
 
+    /// Hands a drained waiter buffer back to its transaction so the
+    /// capacity survives into the arena recycling ([`Txn::reset`] keeps
+    /// it). A no-op when the transaction is gone, or when the list was
+    /// repopulated while the drained threads were being woken — newly
+    /// arrived waiters are never clobbered.
+    fn restore_waiter_buf(
+        &mut self,
+        txn: TxnId,
+        buf: Vec<ThreadId>,
+        field: impl FnOnce(&mut Txn) -> &mut Vec<ThreadId>,
+    ) {
+        debug_assert!(buf.is_empty());
+        if let Some(t) = self.txns.get_mut(txn) {
+            let slot = field(t);
+            if slot.is_empty() {
+                *slot = buf;
+            }
+        }
+    }
+
     /// Marks `txn` durable and wakes its durability waiters. When
     /// `real_durability` is false (nobarrier) the wake happens but no
     /// durability claim is recorded — the crash checker must not hold the
@@ -444,19 +475,24 @@ impl Filesystem {
             return;
         }
         t.state = TxnState::Durable;
-        let waiters = std::mem::take(&mut t.durable_waiters);
+        let mut waiters = std::mem::take(&mut t.durable_waiters);
         let claimed = real_durability && !waiters.is_empty();
         if claimed {
             t.durability_claimed = true;
-            if let Some(r) = self.records.iter_mut().find(|r| r.id == txn.0) {
-                r.durability_claimed = true;
+            // Records are pushed in ascending txn-id order (`record_txn`
+            // runs once per commit, ids are allocated monotonically), so
+            // the ground-truth entry is found by binary search — a linear
+            // scan here turns long runs quadratic in committed txns.
+            if let Ok(i) = self.records.binary_search_by_key(&txn.0, |r| r.id) {
+                self.records[i].durability_claimed = true;
             }
         }
-        for tid in waiters {
+        for tid in waiters.drain(..) {
             self.clear_syscall(tid);
             out.push(FsAction::CtxSwitch(tid));
             out.push(FsAction::Wake(tid));
         }
+        self.restore_waiter_buf(txn, waiters, |t| &mut t.durable_waiters);
     }
 
     /// Removes the transaction from the committing list, resolves page
@@ -471,19 +507,21 @@ impl Filesystem {
         out: &mut ActionSink<FsAction>,
     ) {
         self.committing.retain(|t| *t != txn);
-        let Some(files) = self
-            .txns
-            .get(txn)
-            .map(|t| t.buffers.iter().map(|(_, f, _)| *f).collect::<Vec<_>>())
-        else {
-            return;
-        };
+        let mut files = std::mem::take(&mut self.scratch_files);
+        match self.txns.get(txn) {
+            Some(t) => files.extend(t.buffers.iter().map(|(_, f, _)| *f)),
+            None => {
+                self.scratch_files = files;
+                return;
+            }
+        }
         // Release inode buffers.
-        for f in files {
+        for f in files.drain(..) {
             if self.files.get(f).txn == Some(txn) {
                 self.files.get_mut(f).txn = None;
             }
         }
+        self.scratch_files = files;
         // Resolve conflict-page-list entries held by this transaction:
         // their buffers join the running transaction with current content.
         let resolved = self.conflicts.resolve(txn);
@@ -500,13 +538,14 @@ impl Filesystem {
             }
         }
         // Wake EXT4 writers blocked on the conflict.
-        let writers = match self.txns.get_mut(txn) {
+        let mut writers = match self.txns.get_mut(txn) {
             Some(t) => std::mem::take(&mut t.conflict_waiters),
             None => Vec::new(),
         };
-        for tid in writers {
+        for tid in writers.drain(..) {
             self.retry_conflicted_write(tid, now, out);
         }
+        self.restore_waiter_buf(txn, writers, |t| &mut t.conflict_waiters);
         if checkpoint {
             self.start_checkpoint(txn, out);
         }
@@ -525,16 +564,21 @@ impl Filesystem {
     /// Submits the in-place metadata (and OptFS data) writes of a released
     /// transaction.
     pub(crate) fn start_checkpoint(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
-        let Some(writes) = self.txns.get(txn).map(|t| {
-            t.buffers
-                .iter()
-                .map(|(l, _, tag)| (*l, *tag))
-                .chain(t.data_journal.iter().copied())
-                .collect::<Vec<(bio_flash::Lba, bio_flash::BlockTag)>>()
-        }) else {
-            return;
-        };
+        let mut writes = std::mem::take(&mut self.scratch_writes);
+        match self.txns.get(txn) {
+            Some(t) => writes.extend(
+                t.buffers
+                    .iter()
+                    .map(|(l, _, tag)| (*l, *tag))
+                    .chain(t.data_journal.iter().copied()),
+            ),
+            None => {
+                self.scratch_writes = writes;
+                return;
+            }
+        }
         if writes.is_empty() {
+            self.scratch_writes = writes;
             self.finish_checkpoint(txn, out);
             return;
         }
@@ -549,7 +593,7 @@ impl Filesystem {
         if let Some(t) = self.txns.get_mut(txn) {
             t.checkpoints_left = writes.len();
         }
-        for (lba, tag) in writes {
+        for (lba, tag) in writes.drain(..) {
             let rid = self.alloc_req(Purpose::Checkpoint(txn));
             self.stats.checkpoint_blocks += 1;
             out.push(FsAction::Submit(BlockRequest::write(
@@ -559,6 +603,7 @@ impl Filesystem {
                 flags,
             )));
         }
+        self.scratch_writes = writes;
     }
 
     /// One checkpoint write of `txn` completed. Stale completions — a
@@ -580,11 +625,13 @@ impl Filesystem {
     }
 
     fn finish_checkpoint(&mut self, txn: TxnId, out: &mut ActionSink<FsAction>) {
-        // The transaction is complete; drop it (records keep the history).
+        // The transaction is complete; retire it into the arena (records
+        // keep the history).
         let Some(t) = self.txns.remove(txn) else {
             return;
         };
         self.journal_used = self.journal_used.saturating_sub(t.journal_blocks());
+        self.txn_pool.push(t);
         if self.journal_stalled {
             self.journal_stalled = false;
             self.schedule_commit_run(out);

@@ -398,6 +398,66 @@ impl<E> EventQueue<E> {
         n
     }
 
+    /// Deadline-bounded [`EventQueue::pop_batch`]: drains the earliest
+    /// pending instant's events (up to `max`) into `out`, but only when
+    /// that instant is at or before `deadline`. Returns the number of
+    /// events drained — 0 on an empty queue or a deadline miss (the
+    /// queue is untouched and the clock does not advance).
+    ///
+    /// Only the *first* pop pays the deadline comparison; same-instant
+    /// followers are necessarily within the deadline too, so they drain
+    /// through the active-bucket fast path.
+    ///
+    /// ```
+    /// use bio_sim::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// let t = SimTime::from_micros(3);
+    /// q.push(t, "a");
+    /// q.push(t, "b");
+    /// q.push(SimTime::from_micros(9), "later");
+    /// let mut out = Vec::new();
+    /// assert_eq!(q.pop_batch_at_or_before(SimTime::from_micros(5), &mut out, 16), 2);
+    /// assert_eq!(out, vec![(t, "a"), (t, "b")]);
+    /// assert_eq!(q.pop_batch_at_or_before(SimTime::from_micros(5), &mut out, 16), 0);
+    /// ```
+    pub fn pop_batch_at_or_before(
+        &mut self,
+        deadline: SimTime,
+        out: &mut Vec<(SimTime, E)>,
+        max: usize,
+    ) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let Some((t, ev)) = self.pop_at_or_before(deadline) else {
+            return 0;
+        };
+        out.push((t, ev));
+        let mut n = 1;
+        while n < max && self.has_follower_at(t) {
+            out.push(self.pop().expect("follower checked"));
+            n += 1;
+        }
+        n
+    }
+
+    /// O(1) check for another pending event at exactly `t`, valid right
+    /// after an event at `t` was popped: the pop advanced the window to
+    /// `t`, so every remaining event at `t` has migrated out of the far
+    /// tier and sits in the active bucket's run or overflow — if neither
+    /// holds one, the instant is drained. (A generic `peek_time` would
+    /// rescan the ring whenever the pop emptied the active run, which is
+    /// the common case for singleton instants.)
+    fn has_follower_at(&self, t: SimTime) -> bool {
+        if self.active_bucket == NO_ACTIVE {
+            return false;
+        }
+        let run = self.ring[self.active_slot].last().map(Scheduled::key);
+        let ovf = self.overflow.peek().map(Scheduled::key);
+        matches!(run, Some((rt, _)) if rt == t) || matches!(ovf, Some((ot, _)) if ot == t)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.ring_len + self.overflow.len() + self.far.len()
@@ -570,6 +630,26 @@ mod tests {
             vec![0, 1, 2, 3]
         );
         assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn pop_batch_at_or_before_bounds_the_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(2);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(SimTime::from_micros(30), 9);
+        let mut out = Vec::new();
+        let d = SimTime::from_micros(10);
+        assert_eq!(q.pop_batch_at_or_before(d, &mut out, 8), 2);
+        assert_eq!(out, vec![(t, 1), (t, 2)]);
+        assert_eq!(q.now(), t, "clock advanced to the drained instant");
+        // The next instant is past the deadline: nothing drains, nothing
+        // is lost, and the clock stays put.
+        assert_eq!(q.pop_batch_at_or_before(d, &mut out, 8), 0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), t);
+        assert_eq!(q.pop_batch_at_or_before(SimTime::MAX, &mut out, 0), 0);
     }
 
     #[test]

@@ -150,3 +150,71 @@ proptest! {
         prop_assert_eq!(by_pop.now(), by_batch.now());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Cohort draining through `pop_batch_at_or_before` is
+    /// indistinguishable from the single-pop loop the `IoStack` drivers
+    /// used before batching: same events, same `(time, seq)` order, same
+    /// deadline misses, same clock — across interleaved pushes (so
+    /// batches drain queues that earlier batches partially emptied, the
+    /// steady-state shape of the simulator main loop).
+    #[test]
+    fn batch_drain_matches_single_pop_reference(
+        script in prop::collection::vec((0u8..4, 0u64..150_000, 0u64..1000), 1..300),
+        max in 1usize..12,
+    ) {
+        let mut by_batch = EventQueue::new();
+        let mut by_pop = EventQueue::new();
+        let mut buf = Vec::new();
+        for &(op, dt, v) in &script {
+            if op == 0 {
+                // Drain both queues to a deadline — one in bounded
+                // cohorts, one event at a time — and compare the
+                // concatenated sequences.
+                let deadline = by_batch.now() + SimDuration::from_nanos(dt);
+                let mut batched = Vec::new();
+                loop {
+                    buf.clear();
+                    let n = by_batch.pop_batch_at_or_before(deadline, &mut buf, max);
+                    prop_assert_eq!(n, buf.len());
+                    prop_assert!(n <= max);
+                    if n == 0 {
+                        break;
+                    }
+                    // A batch never mixes instants: it is one cohort.
+                    prop_assert!(buf.iter().all(|&(t, _)| t == buf[0].0));
+                    batched.extend(buf.iter().copied());
+                }
+                let mut reference = Vec::new();
+                while let Some(e) = by_pop.pop_at_or_before(deadline) {
+                    reference.push(e);
+                }
+                prop_assert_eq!(&batched, &reference);
+                prop_assert_eq!(by_batch.now(), by_pop.now());
+            } else {
+                let dt = if op == 3 { dt * 1000 } else { dt };
+                let at = by_batch.now() + SimDuration::from_nanos(dt);
+                by_batch.push(at, v);
+                by_pop.push(at, v);
+            }
+        }
+        // Final full drain: nothing left behind, order still identical.
+        let mut batched = Vec::new();
+        loop {
+            buf.clear();
+            if by_batch.pop_batch_at_or_before(SimTime::MAX, &mut buf, max) == 0 {
+                break;
+            }
+            prop_assert!(buf.iter().all(|&(t, _)| t == buf[0].0));
+            batched.extend(buf.iter().copied());
+        }
+        let mut reference = Vec::new();
+        while let Some(e) = by_pop.pop_at_or_before(SimTime::MAX) {
+            reference.push(e);
+        }
+        prop_assert_eq!(batched, reference);
+        prop_assert!(by_batch.is_empty() && by_pop.is_empty());
+    }
+}

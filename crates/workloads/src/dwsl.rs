@@ -4,7 +4,7 @@
 //! allocating write and therefore forces a real journal commit.
 
 use barrier_io::{FileRef, Op, Workload};
-use bio_sim::SimRng;
+use bio_sim::{SimDuration, SimRng};
 
 use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
@@ -22,6 +22,7 @@ pub struct Dwsl {
 #[derive(Debug, Clone)]
 struct DwslModel {
     sync: SyncMode,
+    think: Option<SimDuration>,
     phases: [PhaseSpec; 2],
 }
 
@@ -41,6 +42,9 @@ impl AppModel for DwslModel {
                 s.write(file, iter, 1);
                 s.sync(self.sync, file);
                 s.txn_mark();
+                if let Some(d) = self.think {
+                    s.think(d);
+                }
             }
         }
     }
@@ -48,16 +52,30 @@ impl AppModel for DwslModel {
 
 impl Dwsl {
     /// `writes` append+sync operations on a fresh private file.
+    ///
+    /// The append phase draws no RNG and advances its single write
+    /// offset by one block per iteration, so it is compiled into a
+    /// replay trace after the first three iterations ([`PhaseSpec::replayable`]).
     pub fn new(sync: SyncMode, writes: u64) -> Dwsl {
         Dwsl {
             engine: PhaseEngine::new(DwslModel {
                 sync,
+                think: None,
                 phases: [
                     PhaseSpec::once("create"),
-                    PhaseSpec::iterations("append", writes),
+                    PhaseSpec::replayable("append", writes),
                 ],
             }),
         }
+    }
+
+    /// Inserts a fixed think time after every transaction, turning the
+    /// closed back-to-back sync loop into a rate-bounded client. Long
+    /// simulated horizons need this: an unthrottled appender would outrun
+    /// any finite device's capacity within minutes of simulated time.
+    pub fn with_think(mut self, think: SimDuration) -> Dwsl {
+        self.engine.model_mut().think = Some(think);
+        self
     }
 }
 

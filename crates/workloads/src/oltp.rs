@@ -9,7 +9,7 @@
 //! roughly one-eighth of EXT4-OD here (§6.5).
 
 use barrier_io::{FileRef, Op, Workload};
-use bio_sim::SimRng;
+use bio_sim::{SimDuration, SimRng};
 
 use crate::engine::{AppModel, OpScript, PhaseEngine, PhaseSpec};
 use crate::SyncMode;
@@ -34,8 +34,11 @@ struct OltpModel {
     redo_blocks: u64,
     redo_head: u64,
     binlog_head: u64,
+    /// Circular binlog size in blocks (0 = append without bound).
+    binlog_blocks: u64,
     /// Table size for background dirty-page writes.
     table_blocks: u64,
+    think: Option<SimDuration>,
     phases: [PhaseSpec; 1],
 }
 
@@ -50,8 +53,13 @@ impl AppModel for OltpModel {
         self.redo_head += 1;
         s.write(self.redo, redo_off, 1);
         s.sync(self.sync, self.redo);
-        // Binlog append + sync (sync_binlog=1).
-        let off = self.binlog_head;
+        // Binlog append + sync (sync_binlog=1). With a rotation bound the
+        // binlog becomes circular — modelling `expire_logs_days` purging
+        // old logs so an arbitrarily long run stays inside the device.
+        let off = match self.binlog_blocks {
+            0 => self.binlog_head,
+            n => self.binlog_head % n,
+        };
         self.binlog_head += 1;
         s.write(self.binlog, off, 1);
         s.sync(self.sync, self.binlog);
@@ -63,6 +71,9 @@ impl AppModel for OltpModel {
             }
         }
         s.txn_mark();
+        if let Some(d) = self.think {
+            s.think(d);
+        }
     }
 }
 
@@ -85,7 +96,9 @@ impl OltpInsert {
                 redo_blocks: 256,
                 redo_head: 0,
                 binlog_head: 0,
+                binlog_blocks: 0,
                 table_blocks: 4096,
+                think: None,
                 phases: [PhaseSpec::iterations("txn", txns)],
             }),
         }
@@ -95,6 +108,22 @@ impl OltpInsert {
     /// and overwrite committed content — sooner.
     pub fn with_redo_blocks(mut self, blocks: u64) -> OltpInsert {
         self.engine.model_mut().redo_blocks = blocks.max(1);
+        self
+    }
+
+    /// Bounds the binlog to `blocks`, wrapping circularly — the effect of
+    /// binlog rotation plus `expire_logs_days` purging. Required for
+    /// long simulated horizons, where an unbounded binlog would outgrow
+    /// the device.
+    pub fn with_binlog_blocks(mut self, blocks: u64) -> OltpInsert {
+        self.engine.model_mut().binlog_blocks = blocks.max(1);
+        self
+    }
+
+    /// Inserts a fixed think time after every transaction (a rate-bounded
+    /// client pool instead of a zero-latency commit loop).
+    pub fn with_think(mut self, think: SimDuration) -> OltpInsert {
+        self.engine.model_mut().think = Some(think);
         self
     }
 }
