@@ -12,7 +12,7 @@ fn run_fsyncs(cfg: StackConfig, n: u64) -> u64 {
     let mut holder = Some(Box::new(Dwsl::new(SyncMode::Fsync, n)) as Box<dyn Workload>);
     stack.add_thread(holder.take().expect("workload"));
     stack.run_until_done(SimDuration::from_secs(3600));
-    stack.device().stats().blocks_written
+    stack.device_at(0).stats().blocks_written
 }
 
 /// Many-file transactions: a *buffered* mail loop over a wide pool — no
@@ -25,7 +25,7 @@ fn run_many_file_commits(cfg: StackConfig) -> u64 {
     let mut holder = Some(Box::new(Varmail::new(SyncMode::None, 6_000, 512)) as Box<dyn Workload>);
     stack.add_thread(holder.take().expect("workload"));
     stack.run_until_done(SimDuration::from_secs(3600));
-    stack.device().stats().blocks_written
+    stack.device_at(0).stats().blocks_written
 }
 
 fn bench_commit_paths(c: &mut Criterion) {

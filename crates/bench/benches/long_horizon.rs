@@ -47,7 +47,7 @@ fn run_dwsl(cfg: StackConfig, sync: SyncMode, secs: u64) -> u64 {
     let mut stack = IoStack::new(cfg);
     stack.add_thread(Box::new(Dwsl::new(sync, u64::MAX).with_think(DWSL_THINK)));
     stack.run_for(SimDuration::from_secs(secs));
-    stack.device().stats().blocks_written
+    stack.device_at(0).stats().blocks_written
 }
 
 fn run_oltp(cfg: StackConfig, sync: SyncMode, secs: u64) -> u64 {
@@ -68,7 +68,7 @@ fn run_oltp(cfg: StackConfig, sync: SyncMode, secs: u64) -> u64 {
     );
     stack.add_thread(w);
     stack.run_for(SimDuration::from_secs(secs));
-    stack.device().stats().blocks_written
+    stack.device_at(0).stats().blocks_written
 }
 
 fn bench(c: &mut Criterion) {

@@ -25,13 +25,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if opts.help || opts.wanted.is_empty() {
+    if opts.help || (opts.wanted.is_empty() && !opts.crash_enum) {
         print_help();
         return;
     }
     if let Some(jobs) = opts.jobs {
         bio_bench::set_default_jobs(jobs);
     }
+    let crash_enum = opts.crash_enum;
     let (wanted, scale, crash_seeds) = (opts.wanted, opts.scale, opts.crash_seeds);
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
@@ -80,19 +81,33 @@ fn main() {
     if want("figcrash") || all {
         experiments::ablation_crash(crash_seeds);
     }
+    // Opt-in only (never under --all): the exhaustive differential crash
+    // enumeration. Non-zero exit on cross-stack divergence so CI can gate.
+    let mut divergent = false;
+    if crash_enum {
+        let report = bio_bench::crash::run(crash_seeds);
+        divergent = !report.divergences.is_empty();
+    }
     eprintln!(
         "[grid] cells={} jobs={} elapsed_ms={}",
         bio_bench::cells_run(),
         bio_bench::default_jobs(),
         started.elapsed().as_millis()
     );
+    if divergent {
+        eprintln!("crash-enum: cross-stack divergence detected");
+        std::process::exit(3);
+    }
 }
 
 fn print_help() {
     println!(
         "usage: figures [--all] [--fig N]... [--table 1] [--scale K] [--seeds N] [--jobs J]\n\
+         \x20      [--crash-enum]\n\
          figures: 1, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, engines, crash; table: 1\n\
          --scale multiplies run length (1 = quick); --jobs bounds the\n\
-         experiment-grid worker pool (>= 1; 1 = serial, default: all cores)"
+         experiment-grid worker pool (>= 1; 1 = serial, default: all cores)\n\
+         --crash-enum runs the exhaustive differential crash enumeration\n\
+         (--seeds traces per stack; exits 3 on cross-stack divergence)"
     );
 }

@@ -9,10 +9,15 @@ pub struct CliOptions {
     pub wanted: Vec<String>,
     /// Run-length multiplier (>= 1).
     pub scale: u64,
-    /// Seeds for the crash ablation.
+    /// Seeds for the crash ablation (and traces per stack for
+    /// `--crash-enum`).
     pub crash_seeds: u64,
     /// Worker-pool override; `None` = auto (all cores).
     pub jobs: Option<usize>,
+    /// Run the exhaustive differential crash enumeration. Deliberately
+    /// not part of `--all`: it is a correctness harness, not a paper
+    /// figure, and its output depends on `--seeds`.
+    pub crash_enum: bool,
     /// `--help` was requested.
     pub help: bool,
 }
@@ -24,6 +29,7 @@ impl Default for CliOptions {
             scale: 1,
             crash_seeds: 20,
             jobs: None,
+            crash_enum: false,
             help: false,
         }
     }
@@ -93,6 +99,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
                     .parse()
                     .map_err(|_| format!("--seeds expects an integer, got '{raw}'"))?;
             }
+            "--crash-enum" => opts.crash_enum = true,
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -160,5 +167,15 @@ mod tests {
     #[test]
     fn unknown_arguments_are_rejected() {
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn crash_enum_flag_parses_and_is_off_by_default() {
+        assert!(!parse_args(&args(&["--all"])).unwrap().crash_enum);
+        let o = parse_args(&args(&["--crash-enum", "--seeds", "50"])).unwrap();
+        assert!(o.crash_enum);
+        assert_eq!(o.crash_seeds, 50);
+        // --crash-enum alone selects no figures: --all must stay pristine.
+        assert!(o.wanted.is_empty());
     }
 }

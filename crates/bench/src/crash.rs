@@ -1,0 +1,920 @@
+//! Exhaustive crash-point enumeration with differential recovery checking.
+//!
+//! The legacy ablation ([`crate::experiments::ablation_crash`]) samples one
+//! random wall-clock crash per seed and replays the whole trace from t=0 for
+//! every sample. This module is the fork-based replacement: each trace runs
+//! **once**, the whole stack is forked ([`barrier_io::IoStack::fork`]) at
+//! every barrier-epoch boundary (journal commit), and for every fork point
+//! the enumerator walks *all* persisted images the device's barrier mode
+//! admits for the in-flight flash programs:
+//!
+//! * [`BarrierMode::LfsInOrderRecovery`] — firmware recovery truncates at
+//!   the first unprogrammed page (§3.2), so the admissible images are the
+//!   n+1 tail prefixes cut at each in-flight program ("first hole").
+//! * [`BarrierMode::InOrderWriteback`] / [`BarrierMode::Unsupported`] — any
+//!   subset of in-flight programs may have retired: 2^n images.
+//! * [`BarrierMode::Transactional`] — uncommitted groups land
+//!   all-or-nothing: one bit per open group.
+//! * PLP (supercap) devices yield a single image: everything survives.
+//!
+//! Subset/group spaces are clamped to [`MAX_FREE_BITS`] free choices per
+//! device and [`MAX_IMAGES_PER_POINT`] images per fork point; clamping is
+//! counted and reported, never silent. Images that collapse to identical
+//! surviving block versions are deduplicated before checking.
+//!
+//! **Differential recovery**: the same op trace runs against EXT4-DR,
+//! BFS-DR and BFS-OD; fork points align across stacks by commit count.
+//! Every enumerated image must recover to a clean transaction prefix (no
+//! commit-order / torn-transaction / ordered-data / durability-loss
+//! violation and no epoch-order violation). A stack that violates where a
+//! peer stays clean at the same aligned point is a cross-stack divergence,
+//! reported as a minimized `(trace seed, fork point, reordering choice)`
+//! triple.
+
+use std::collections::{HashMap, HashSet};
+
+use barrier_io::{
+    check_crash_consistency, DeviceProfile, FileRef, IoStack, StackConfig, Topology, TxnRecord,
+};
+use bio_flash::{
+    audit_epoch_order, AppendLog, AppendRec, BarrierMode, BlockTag, Lba, PersistedImage,
+    TransferRec,
+};
+use bio_sim::SimDuration;
+use bio_workloads::{RandWrite, SyncMode, WriteMode};
+
+use crate::{print_table, ExperimentGrid};
+
+/// Free nondeterministic program-completion bits enumerated per device
+/// (2^8 = 256 subsets before clamping kicks in).
+pub const MAX_FREE_BITS: usize = 8;
+
+/// Hard cap on enumerated images per fork point (cross-device product).
+pub const MAX_IMAGES_PER_POINT: u64 = 256;
+
+/// Syncs per differential trace; each write+sync pair forces one journal
+/// commit, i.e. one fork point.
+const TRACE_OPS: u64 = 100;
+
+/// Steps without a new commit after which a trace is considered drained
+/// (guards against self-perpetuating timer events).
+const STALE_STEP_LIMIT: u64 = 200_000;
+
+// ---------------------------------------------------------------------
+// Fork-point snapshot (plain data, `Send`).
+// ---------------------------------------------------------------------
+
+/// Plain-data snapshot of one device at a fork point, extracted from a
+/// forked stack so it can shard across the grid's worker pool.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    log: AppendLog,
+    cache: Vec<(Lba, BlockTag)>,
+    plp: bool,
+    mode: BarrierMode,
+    committed: HashSet<u64>,
+    history: Option<Vec<TransferRec>>,
+}
+
+/// Everything needed to enumerate and check one fork point: the ground
+/// truth transaction records plus per-device append-log state.
+#[derive(Debug, Clone)]
+pub struct CrashPoint {
+    /// Commit count at the fork (the cross-stack alignment key).
+    pub commit_idx: usize,
+    /// Ground-truth transaction records at the fork.
+    pub records: Vec<TxnRecord>,
+    devices: Vec<DeviceState>,
+    topology: Topology,
+}
+
+/// Snapshots a (freshly forked) stack into a plain-data crash point.
+pub fn extract_point(stack: &IoStack) -> CrashPoint {
+    let records = stack.fs().records().to_vec();
+    let devices = stack
+        .devices()
+        .iter()
+        .map(|d| DeviceState {
+            log: d.append_log().clone(),
+            cache: d
+                .cache()
+                .entries_in_order()
+                .map(|(_, e)| (e.lba, e.tag))
+                .collect(),
+            plp: d.profile().plp,
+            mode: d.profile().barrier_mode,
+            committed: d.committed_groups().collect(),
+            history: d.history().map(|h| h.to_vec()),
+        })
+        .collect();
+    CrashPoint {
+        commit_idx: records.len(),
+        records,
+        devices,
+        topology: stack.config().topology,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admissible-image enumeration.
+// ---------------------------------------------------------------------
+
+/// The reordering choice space of one device at one fork point.
+#[derive(Debug, Clone)]
+enum ChoiceSpace {
+    /// PLP: a single image, everything (including the cache) survives.
+    Single,
+    /// LFS in-order recovery: hole positions (tail indices of in-flight
+    /// programs); choice `c` cuts the prefix at `holes[c]`, choice
+    /// `holes.len()` keeps the full tail.
+    Prefix(Vec<usize>),
+    /// Orderless / in-order writeback: free in-flight indices, one bit
+    /// each (bit set = that program retired before power loss).
+    Subset(Vec<usize>),
+    /// Transactional writeback: open (uncommitted) groups, one
+    /// all-or-nothing bit each.
+    Groups(Vec<u64>),
+}
+
+impl ChoiceSpace {
+    fn n_choices(&self) -> u64 {
+        match self {
+            ChoiceSpace::Single => 1,
+            ChoiceSpace::Prefix(holes) => holes.len() as u64 + 1,
+            ChoiceSpace::Subset(free) => 1u64 << free.len(),
+            ChoiceSpace::Groups(gs) => 1u64 << gs.len(),
+        }
+    }
+}
+
+impl DeviceState {
+    /// The admissible choice space under this device's barrier mode, plus
+    /// whether the space had to be clamped to [`MAX_FREE_BITS`].
+    fn choice_space(&self) -> (ChoiceSpace, bool) {
+        if self.plp {
+            return (ChoiceSpace::Single, false);
+        }
+        let inflight: Vec<usize> = self
+            .log
+            .tail()
+            .enumerate()
+            .filter(|(_, r)| !r.done)
+            .map(|(i, _)| i)
+            .collect();
+        match self.mode {
+            BarrierMode::LfsInOrderRecovery => (ChoiceSpace::Prefix(inflight), false),
+            BarrierMode::InOrderWriteback | BarrierMode::Unsupported => {
+                let clamped = inflight.len() > MAX_FREE_BITS;
+                let mut free = inflight;
+                free.truncate(MAX_FREE_BITS);
+                (ChoiceSpace::Subset(free), clamped)
+            }
+            BarrierMode::Transactional => {
+                let mut groups: Vec<u64> = Vec::new();
+                for r in self.log.tail() {
+                    if let Some(g) = r.group {
+                        if !self.committed.contains(&g) && !groups.contains(&g) {
+                            groups.push(g);
+                        }
+                    }
+                }
+                let clamped = groups.len() > MAX_FREE_BITS;
+                groups.truncate(MAX_FREE_BITS);
+                (ChoiceSpace::Groups(groups), clamped)
+            }
+        }
+    }
+
+    /// The persisted image for one choice. Choice 0 always reproduces the
+    /// device's own deterministic [`bio_flash::Device::crash_image`].
+    fn image_for(&self, space: &ChoiceSpace, choice: u64) -> PersistedImage {
+        let tail: Vec<AppendRec> = self.log.tail().copied().collect();
+        match space {
+            ChoiceSpace::Single => {
+                let mut img = self.log.image(|_| true, false);
+                img.overlay(self.cache.iter().copied());
+                img
+            }
+            ChoiceSpace::Prefix(holes) => {
+                let cut = holes.get(choice as usize).copied().unwrap_or(tail.len());
+                let mask: Vec<bool> = (0..tail.len()).map(|i| i < cut).collect();
+                self.log.image_masked(&mask, true)
+            }
+            ChoiceSpace::Subset(free) => {
+                let mut mask: Vec<bool> = tail.iter().map(|r| r.done).collect();
+                for (bit, &idx) in free.iter().enumerate() {
+                    if choice & (1 << bit) != 0 {
+                        mask[idx] = true;
+                    }
+                }
+                self.log.image_masked(&mask, false)
+            }
+            ChoiceSpace::Groups(gs) => {
+                let survive: HashSet<u64> = gs
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| choice & (1 << *bit) != 0)
+                    .map(|(_, &g)| g)
+                    .collect();
+                let committed = &self.committed;
+                self.log.image(
+                    |r| {
+                        r.done
+                            && r.group
+                                .is_none_or(|g| committed.contains(&g) || survive.contains(&g))
+                    },
+                    false,
+                )
+            }
+        }
+    }
+}
+
+/// Stripes per-device images into one global image (identity for 1×1).
+fn combine(p: &CrashPoint, locals: &[PersistedImage]) -> PersistedImage {
+    if p.topology.is_single() {
+        return locals[0].clone();
+    }
+    let mut map = HashMap::new();
+    for (di, img) in locals.iter().enumerate() {
+        for (local, tag) in img.iter() {
+            map.insert(p.topology.global(di, local), tag);
+        }
+    }
+    PersistedImage::from_map(map)
+}
+
+/// Runs both checkers over one choice combination: returns
+/// `(fs violations, epoch violations, first violation rendered)`.
+fn check_choice(p: &CrashPoint, spaces: &[ChoiceSpace], choices: &[u64]) -> (usize, usize, String) {
+    let locals: Vec<PersistedImage> = p
+        .devices
+        .iter()
+        .zip(spaces)
+        .zip(choices)
+        .map(|((d, s), &c)| d.image_for(s, c))
+        .collect();
+    let global = combine(p, &locals);
+    let fsv = check_crash_consistency(&p.records, &global);
+    let mut epv = 0usize;
+    let mut detail = String::new();
+    for (d, img) in p.devices.iter().zip(&locals) {
+        if let Some(h) = &d.history {
+            let v = audit_epoch_order(h, img);
+            if detail.is_empty() {
+                if let Some(first) = v.first() {
+                    detail = format!("{first:?}");
+                }
+            }
+            epv += v.len();
+        }
+    }
+    if detail.is_empty() {
+        if let Some(first) = fsv.first() {
+            detail = format!("{first:?}");
+        }
+    }
+    (fsv.len(), epv, detail)
+}
+
+/// A violating reordering, minimized: per-device choice ids after greedy
+/// reduction toward the deterministic baseline (choice 0).
+#[derive(Debug, Clone)]
+pub struct ViolationCase {
+    /// Per-device reordering choice (bitmask or hole index).
+    pub choices: Vec<u64>,
+    /// Filesystem-level violations at this choice.
+    pub fs_violations: usize,
+    /// Device epoch-order violations at this choice.
+    pub epoch_violations: usize,
+    /// First violation, rendered.
+    pub detail: String,
+}
+
+/// Greedily shrinks a violating choice combination: clears subset/group
+/// bits and lowers prefix cuts while the combination still violates.
+fn minimize(p: &CrashPoint, spaces: &[ChoiceSpace], mut choices: Vec<u64>) -> Vec<u64> {
+    let violates = |c: &[u64]| {
+        let (f, e, _) = check_choice(p, spaces, c);
+        f + e > 0
+    };
+    for _ in 0..4 {
+        let mut changed = false;
+        for (di, space) in spaces.iter().enumerate() {
+            match space {
+                ChoiceSpace::Single => {}
+                ChoiceSpace::Prefix(_) => {
+                    for c in 0..choices[di] {
+                        let mut t = choices.clone();
+                        t[di] = c;
+                        if violates(&t) {
+                            choices = t;
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+                ChoiceSpace::Subset(_) | ChoiceSpace::Groups(_) => {
+                    let bits = match space {
+                        ChoiceSpace::Subset(free) => free.len(),
+                        ChoiceSpace::Groups(gs) => gs.len(),
+                        _ => unreachable!(),
+                    };
+                    for bit in 0..bits {
+                        if choices[di] & (1 << bit) != 0 {
+                            let mut t = choices.clone();
+                            t[di] &= !(1u64 << bit);
+                            if violates(&t) {
+                                choices = t;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    choices
+}
+
+/// Outcome of enumerating one fork point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Commit count at the fork (alignment key).
+    pub commit_idx: usize,
+    /// Distinct images checked (crash points explored).
+    pub images: u64,
+    /// Equivalent images skipped by dedup.
+    pub duplicates: u64,
+    /// True when the choice space was clamped (bit budget or image cap).
+    pub clamped: bool,
+    /// Total filesystem violations over all distinct images.
+    pub fs_violations: u64,
+    /// Total epoch-order violations over all distinct images.
+    pub epoch_violations: u64,
+    /// First violating reordering, minimized.
+    pub worst: Option<ViolationCase>,
+}
+
+/// Enumerates every admissible image at one fork point, deduplicates, and
+/// checks each against the journal ground truth and the epoch contract.
+pub fn enumerate_point(p: &CrashPoint) -> PointOutcome {
+    let mut spaces = Vec::with_capacity(p.devices.len());
+    let mut clamped = false;
+    for d in &p.devices {
+        let (s, c) = d.choice_space();
+        clamped |= c;
+        spaces.push(s);
+    }
+    let counts: Vec<u64> = spaces.iter().map(|s| s.n_choices()).collect();
+    let product: u128 = counts.iter().map(|&c| c as u128).product();
+    clamped |= product > MAX_IMAGES_PER_POINT as u128;
+
+    let mut out = PointOutcome {
+        commit_idx: p.commit_idx,
+        images: 0,
+        duplicates: 0,
+        clamped,
+        fs_violations: 0,
+        epoch_violations: 0,
+        worst: None,
+    };
+    let mut seen: HashSet<Vec<(u64, u64)>> = HashSet::new();
+    let mut choices = vec![0u64; spaces.len()];
+    let mut visited = 0u64;
+    loop {
+        visited += 1;
+        let locals: Vec<PersistedImage> = p
+            .devices
+            .iter()
+            .zip(&spaces)
+            .zip(&choices)
+            .map(|((d, s), &c)| d.image_for(s, c))
+            .collect();
+        let global = combine(p, &locals);
+        let mut key: Vec<(u64, u64)> = global.iter().map(|(l, t)| (l.0, t.0)).collect();
+        key.sort_unstable();
+        if seen.insert(key) {
+            out.images += 1;
+            let fsv = check_crash_consistency(&p.records, &global);
+            let mut epv = 0usize;
+            for (d, img) in p.devices.iter().zip(&locals) {
+                if let Some(h) = &d.history {
+                    epv += audit_epoch_order(h, img).len();
+                }
+            }
+            out.fs_violations += fsv.len() as u64;
+            out.epoch_violations += epv as u64;
+            if (!fsv.is_empty() || epv > 0) && out.worst.is_none() {
+                let min = minimize(p, &spaces, choices.clone());
+                let (f, e, detail) = check_choice(p, &spaces, &min);
+                out.worst = Some(ViolationCase {
+                    choices: min,
+                    fs_violations: f,
+                    epoch_violations: e,
+                    detail,
+                });
+            }
+        } else {
+            out.duplicates += 1;
+        }
+        if visited >= MAX_IMAGES_PER_POINT {
+            break;
+        }
+        // Odometer over the per-device choice counts.
+        let mut di = 0;
+        loop {
+            if di == choices.len() {
+                return out;
+            }
+            choices[di] += 1;
+            if choices[di] < counts[di] {
+                break;
+            }
+            choices[di] = 0;
+            di += 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Trace driving: fork at every commit boundary.
+// ---------------------------------------------------------------------
+
+/// Result of one (stack, trace) cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Fork-point outcomes in commit order.
+    pub points: Vec<PointOutcome>,
+}
+
+/// Builds one differential trace cell: a single thread of `TRACE_OPS`
+/// write+sync pairs over a 64-block region, 1 µs journal tick.
+fn trace_stack(mut cfg: StackConfig, sync: SyncMode, seed: u64) -> IoStack {
+    cfg.seed = seed;
+    cfg.fs.timer_tick = SimDuration::from_micros(1);
+    let mut stack = IoStack::new(cfg);
+    let f = stack.create_global_file();
+    stack.add_thread(Box::new(RandWrite::new(
+        FileRef::Global(f),
+        64,
+        WriteMode::SyncEach(sync),
+        TRACE_OPS,
+    )));
+    stack
+}
+
+/// Runs one trace to completion, forking the stack at every journal
+/// commit and enumerating the fork point's admissible crash images.
+pub fn enumerate_trace(cfg: StackConfig, sync: SyncMode, seed: u64) -> CellOutcome {
+    let mut stack = trace_stack(cfg, sync, seed);
+    let mut points = Vec::new();
+    let mut commits = 0usize;
+    let mut stale = 0u64;
+    while stack.step() {
+        let n = stack.fs().records().len();
+        if n > commits {
+            commits = n;
+            stale = 0;
+            // The tentpole in one line: snapshot the whole stack at the
+            // epoch boundary instead of replaying from t=0.
+            let snap = stack.fork();
+            points.push(enumerate_point(&extract_point(&snap)));
+        } else {
+            stale += 1;
+            if stale > STALE_STEP_LIMIT {
+                break;
+            }
+        }
+    }
+    CellOutcome { points }
+}
+
+/// Legacy single-sample crash cell (the ablation table's unit of work):
+/// run for `dur`, inject one wall-clock crash, count violations.
+pub fn sampled_crash_violations(mut cfg: StackConfig, sync: SyncMode, dur: SimDuration) -> u64 {
+    cfg.fs.timer_tick = SimDuration::from_micros(1);
+    let mut stack = IoStack::new(cfg);
+    let f = stack.create_global_file();
+    stack.add_thread(Box::new(RandWrite::new(
+        FileRef::Global(f),
+        64,
+        WriteMode::SyncEach(sync),
+        100,
+    )));
+    stack.run_for(dur);
+    let crash = stack.crash();
+    (crash.fs_violations.len() + crash.epoch_violations.len()) as u64
+}
+
+// ---------------------------------------------------------------------
+// Differential harness across EXT4-DR / BFS-DR / BFS-OD.
+// ---------------------------------------------------------------------
+
+/// Per-stack aggregate over all traces.
+#[derive(Debug, Clone)]
+pub struct StackRow {
+    /// Stack label (`EXT4-DR`, `BFS-DR`, `BFS-OD`).
+    pub label: &'static str,
+    /// Traces run.
+    pub traces: u64,
+    /// Fork points (journal commits) visited.
+    pub fork_points: u64,
+    /// Distinct crash images enumerated and checked.
+    pub images: u64,
+    /// Equivalent images skipped by dedup.
+    pub duplicates: u64,
+    /// Fork points whose choice space was clamped.
+    pub clamped_points: u64,
+    /// Filesystem violations summed over all images.
+    pub fs_violations: u64,
+    /// Epoch-order violations summed over all images.
+    pub epoch_violations: u64,
+}
+
+/// A cross-stack divergence: at an aligned `(trace, fork point)` this
+/// stack violated while a peer stayed clean, minimized to the smallest
+/// reordering choice that still violates.
+#[derive(Debug, Clone)]
+pub struct DivergenceTriple {
+    /// Trace seed.
+    pub seed: u64,
+    /// Commit count at the fork (alignment key).
+    pub commit_idx: usize,
+    /// The violating stack.
+    pub stack: &'static str,
+    /// Minimized per-device reordering choice.
+    pub choices: Vec<u64>,
+    /// First violation, rendered.
+    pub detail: String,
+}
+
+/// Full report of one differential crash-enumeration run.
+#[derive(Debug, Clone)]
+pub struct CrashEnumReport {
+    /// Per-stack aggregates.
+    pub rows: Vec<StackRow>,
+    /// Total distinct crash points explored across all stacks.
+    pub total_points: u64,
+    /// Cross-stack divergences (empty = all stacks agree).
+    pub divergences: Vec<DivergenceTriple>,
+}
+
+/// One differential stack: label, config constructor, sync flavour.
+type DiffStack = (&'static str, fn() -> StackConfig, SyncMode);
+
+/// The three differential stacks, all over the paper's barrier UFS: the
+/// flush-based baseline and the two BarrierFS disciplines must agree.
+fn diff_stacks() -> Vec<DiffStack> {
+    fn ext4_dr() -> StackConfig {
+        StackConfig::ext4_dr(DeviceProfile::ufs()).with_history()
+    }
+    fn bfs_dr() -> StackConfig {
+        StackConfig::bfs(DeviceProfile::ufs()).with_history()
+    }
+    fn bfs_od() -> StackConfig {
+        StackConfig::bfs(DeviceProfile::ufs())
+            .ordering_only()
+            .with_history()
+    }
+    vec![
+        ("EXT4-DR", ext4_dr, SyncMode::Fsync),
+        ("BFS-DR", bfs_dr, SyncMode::Fsync),
+        ("BFS-OD", bfs_od, SyncMode::Fbarrier),
+    ]
+}
+
+/// Runs the differential crash enumeration over `traces` seeds per stack,
+/// sharded across the grid pool, prints the per-stack table (and the
+/// divergence table when non-empty), and returns the report.
+pub fn run(traces: u64) -> CrashEnumReport {
+    let stacks = diff_stacks();
+    let mut grid = ExperimentGrid::new();
+    for (label, mk_cfg, sync) in &stacks {
+        let (label, mk_cfg, sync) = (*label, *mk_cfg, *sync);
+        for seed in 0..traces {
+            grid.push(format!("crashenum/{label}/seed{seed}"), move || {
+                enumerate_trace(mk_cfg(), sync, seed)
+            });
+        }
+    }
+    let results = grid.run();
+    assert_eq!(results.len(), stacks.len() * traces as usize);
+
+    let mut rows = Vec::new();
+    let mut divergences = Vec::new();
+    let cells: Vec<&[CellOutcome]> = results.chunks((traces as usize).max(1)).collect();
+    for ((label, _, _), chunk) in stacks.iter().zip(&cells) {
+        let mut row = StackRow {
+            label,
+            traces,
+            fork_points: 0,
+            images: 0,
+            duplicates: 0,
+            clamped_points: 0,
+            fs_violations: 0,
+            epoch_violations: 0,
+        };
+        for cell in *chunk {
+            row.fork_points += cell.points.len() as u64;
+            for p in &cell.points {
+                row.images += p.images;
+                row.duplicates += p.duplicates;
+                row.clamped_points += p.clamped as u64;
+                row.fs_violations += p.fs_violations;
+                row.epoch_violations += p.epoch_violations;
+            }
+        }
+        rows.push(row);
+    }
+
+    // Differential fold: align per-seed fork points by commit count; any
+    // point where the violation verdicts differ across stacks is a
+    // divergence for each violating stack.
+    for seed in 0..traces as usize {
+        let per_stack: Vec<HashMap<usize, &PointOutcome>> = cells
+            .iter()
+            .map(|chunk| {
+                chunk[seed]
+                    .points
+                    .iter()
+                    .map(|p| (p.commit_idx, p))
+                    .collect()
+            })
+            .collect();
+        let aligned: HashSet<usize> = per_stack
+            .iter()
+            .flat_map(|m| m.keys().copied())
+            .filter(|k| per_stack.iter().all(|m| m.contains_key(k)))
+            .collect();
+        let mut aligned: Vec<usize> = aligned.into_iter().collect();
+        aligned.sort_unstable();
+        for k in aligned {
+            let verdicts: Vec<bool> = per_stack.iter().map(|m| m[&k].worst.is_some()).collect();
+            if verdicts.iter().any(|&v| v) && verdicts.iter().any(|&v| !v) {
+                for ((label, _, _), m) in stacks.iter().zip(&per_stack) {
+                    if let Some(case) = &m[&k].worst {
+                        divergences.push(DivergenceTriple {
+                            seed: seed as u64,
+                            commit_idx: k,
+                            stack: label,
+                            choices: case.choices.clone(),
+                            detail: case.detail.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let total_points: u64 = rows.iter().map(|r| r.images).sum();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.traces.to_string(),
+                r.fork_points.to_string(),
+                r.images.to_string(),
+                r.duplicates.to_string(),
+                r.clamped_points.to_string(),
+                r.fs_violations.to_string(),
+                r.epoch_violations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Crash enumeration — exhaustive per-epoch crash images (differential)",
+        &[
+            "stack",
+            "traces",
+            "fork points",
+            "crash points",
+            "dedup-skipped",
+            "clamped",
+            "fs violations",
+            "epoch violations",
+        ],
+        &table,
+    );
+    println!(
+        "total crash points explored: {total_points}; cross-stack divergences: {}",
+        divergences.len()
+    );
+    if !divergences.is_empty() {
+        let rows: Vec<Vec<String>> = divergences
+            .iter()
+            .take(10)
+            .map(|d| {
+                vec![
+                    d.stack.to_string(),
+                    d.seed.to_string(),
+                    d.commit_idx.to_string(),
+                    format!("{:?}", d.choices),
+                    d.detail.clone(),
+                ]
+            })
+            .collect();
+        print_table(
+            "Cross-stack divergences (minimized reordering triples)",
+            &[
+                "stack",
+                "trace seed",
+                "fork point",
+                "choice",
+                "first violation",
+            ],
+            &rows,
+        );
+    }
+    CrashEnumReport {
+        rows,
+        total_points,
+        divergences,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev_state(mode: BarrierMode, plp: bool, log: AppendLog) -> DeviceState {
+        DeviceState {
+            log,
+            cache: Vec::new(),
+            plp,
+            mode,
+            committed: HashSet::new(),
+            history: None,
+        }
+    }
+
+    /// log with entries: done, in-flight, done, in-flight.
+    fn mixed_log() -> AppendLog {
+        let mut log = AppendLog::new();
+        let a = log.begin(Lba(1), BlockTag(10), None);
+        let _b = log.begin(Lba(2), BlockTag(20), None);
+        let c = log.begin(Lba(3), BlockTag(30), None);
+        let _d = log.begin(Lba(4), BlockTag(40), None);
+        log.mark_done(a);
+        log.mark_done(c);
+        log
+    }
+
+    #[test]
+    fn lfs_space_is_prefixes() {
+        let d = dev_state(BarrierMode::LfsInOrderRecovery, false, mixed_log());
+        let (space, clamped) = d.choice_space();
+        assert!(!clamped);
+        assert_eq!(space.n_choices(), 3); // holes at idx 1 and 3, plus "none"
+                                          // Choice 0 == the deterministic crash image (prefix to first hole).
+        let img0 = d.image_for(&space, 0);
+        assert_eq!(img0.tag(Lba(1)), BlockTag(10));
+        assert_eq!(img0.tag(Lba(2)), BlockTag::UNWRITTEN);
+        assert_eq!(img0.tag(Lba(3)), BlockTag::UNWRITTEN);
+        // Choice 1: first in-flight made it, hole at idx 3.
+        let img1 = d.image_for(&space, 1);
+        assert_eq!(img1.tag(Lba(2)), BlockTag(20));
+        assert_eq!(img1.tag(Lba(3)), BlockTag(30));
+        assert_eq!(img1.tag(Lba(4)), BlockTag::UNWRITTEN);
+        // Choice 2: everything made it.
+        let img2 = d.image_for(&space, 2);
+        assert_eq!(img2.tag(Lba(4)), BlockTag(40));
+    }
+
+    #[test]
+    fn orderless_space_is_subsets() {
+        let d = dev_state(BarrierMode::Unsupported, false, mixed_log());
+        let (space, clamped) = d.choice_space();
+        assert!(!clamped);
+        assert_eq!(space.n_choices(), 4); // two free bits
+                                          // Choice 0 == done-only image.
+        let img0 = d.image_for(&space, 0);
+        assert_eq!(img0.len(), 2);
+        // Bit 1 (second in-flight, idx 3) alone: out-of-order survival the
+        // LFS mode cannot produce.
+        let img = d.image_for(&space, 0b10);
+        assert_eq!(img.tag(Lba(2)), BlockTag::UNWRITTEN);
+        assert_eq!(img.tag(Lba(4)), BlockTag(40));
+    }
+
+    #[test]
+    fn subset_space_clamps_to_bit_budget() {
+        let mut log = AppendLog::new();
+        for i in 0..12 {
+            log.begin(Lba(i), BlockTag(100 + i), None);
+        }
+        let d = dev_state(BarrierMode::Unsupported, false, log);
+        let (space, clamped) = d.choice_space();
+        assert!(clamped);
+        assert_eq!(space.n_choices(), 1 << MAX_FREE_BITS);
+    }
+
+    #[test]
+    fn transactional_groups_all_or_nothing() {
+        let mut log = AppendLog::new();
+        let a = log.begin(Lba(1), BlockTag(10), Some(7));
+        let b = log.begin(Lba(2), BlockTag(20), Some(7));
+        let c = log.begin(Lba(3), BlockTag(30), None);
+        log.mark_done(a);
+        log.mark_done(b);
+        log.mark_done(c);
+        let d = dev_state(BarrierMode::Transactional, false, log);
+        let (space, _) = d.choice_space();
+        assert_eq!(space.n_choices(), 2); // one open group
+        let lost = d.image_for(&space, 0);
+        assert_eq!(lost.tag(Lba(1)), BlockTag::UNWRITTEN);
+        assert_eq!(lost.tag(Lba(2)), BlockTag::UNWRITTEN);
+        assert_eq!(lost.tag(Lba(3)), BlockTag(30));
+        let survived = d.image_for(&space, 1);
+        assert_eq!(survived.tag(Lba(1)), BlockTag(10));
+        assert_eq!(survived.tag(Lba(2)), BlockTag(20));
+    }
+
+    #[test]
+    fn plp_is_single_image_with_cache() {
+        let mut d = dev_state(BarrierMode::Unsupported, true, mixed_log());
+        d.cache.push((Lba(9), BlockTag(90)));
+        let (space, _) = d.choice_space();
+        assert_eq!(space.n_choices(), 1);
+        let img = d.image_for(&space, 0);
+        assert_eq!(img.tag(Lba(2)), BlockTag(20)); // even in-flight survives
+        assert_eq!(img.tag(Lba(9)), BlockTag(90)); // cache overlaid
+    }
+
+    #[test]
+    fn enumerate_point_dedups_equivalent_images() {
+        // Two in-flight appends to the SAME lba with the same eventual
+        // winner collapse some subsets into identical images.
+        let mut log = AppendLog::new();
+        let a = log.begin(Lba(1), BlockTag(10), None);
+        log.mark_done(a);
+        log.begin(Lba(2), BlockTag(20), None);
+        log.begin(Lba(2), BlockTag(21), None);
+        let p = CrashPoint {
+            commit_idx: 0,
+            records: Vec::new(),
+            devices: vec![dev_state(BarrierMode::Unsupported, false, log)],
+            topology: Topology::single(),
+        };
+        let out = enumerate_point(&p);
+        // {}, {20}, {21}, {20,21}→21 : the last dedups onto {21}.
+        assert_eq!(out.images, 3);
+        assert_eq!(out.duplicates, 1);
+        assert_eq!(out.fs_violations, 0);
+    }
+
+    #[test]
+    fn enumerate_point_finds_and_minimizes_durability_loss() {
+        // A durability-claimed txn whose jc is still in flight on an
+        // orderless device: the subset without the jc bit violates.
+        let mut log = AppendLog::new();
+        let a = log.begin(Lba(100), BlockTag(1), None); // jd
+        log.mark_done(a);
+        log.begin(Lba(101), BlockTag(2), None); // jc in flight
+        log.begin(Lba(50), BlockTag(3), None); // unrelated data in flight
+        let rec = TxnRecord {
+            id: 1,
+            jd_lba: Lba(100),
+            jd_tags: vec![BlockTag(1)],
+            jc_lba: Lba(101),
+            jc_tag: BlockTag(2),
+            meta_home: Vec::new(),
+            data_home: Vec::new(),
+            ordered_data: Vec::new(),
+            durability_claimed: true,
+        };
+        let p = CrashPoint {
+            commit_idx: 1,
+            records: vec![rec],
+            devices: vec![dev_state(BarrierMode::Unsupported, false, log)],
+            topology: Topology::single(),
+        };
+        let out = enumerate_point(&p);
+        assert!(out.fs_violations > 0);
+        let worst = out.worst.expect("violating case recorded");
+        // Minimized: the all-zero choice already violates (jc lost).
+        assert_eq!(worst.choices, vec![0]);
+        assert!(worst.detail.contains("DurabilityLoss"));
+    }
+
+    #[test]
+    fn differential_trace_smoke_is_clean() {
+        for (label, mk_cfg, sync) in diff_stacks() {
+            let cell = enumerate_trace(mk_cfg(), sync, 1);
+            assert!(!cell.points.is_empty(), "{label}: no fork points");
+            for p in &cell.points {
+                assert_eq!(
+                    p.fs_violations + p.epoch_violations,
+                    0,
+                    "{label}: violation at commit {}",
+                    p.commit_idx
+                );
+            }
+        }
+    }
+}

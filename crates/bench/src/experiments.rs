@@ -257,7 +257,7 @@ pub fn fig10(scale: u64) -> Vec<(String, Vec<f64>)> {
                 let now = stack.now();
                 let from = now - window(scale);
                 let series: Vec<f64> = stack
-                    .device()
+                    .device_at(0)
                     .qd_series()
                     .resample(from, now, 24)
                     .into_iter()
@@ -489,8 +489,8 @@ pub fn fig12(scale: u64) -> Vec<(&'static str, f64, f64)> {
             let (stack, _report) = run_windowed_stack(cfg, |_| mk(), 1, warm(), window(scale));
             let now = stack.now();
             let from = now - window(scale);
-            let peak = stack.device().qd_series().max_in(from, now);
-            let mean = stack.device().qd_series().weighted_mean(from, now);
+            let peak = stack.device_at(0).qd_series().max_in(from, now);
+            let mean = stack.device_at(0).qd_series().weighted_mean(from, now);
             (mean, peak)
         });
     }
@@ -1116,19 +1116,11 @@ pub fn ablation_crash(seeds: u64) -> Vec<(&'static str, u64, u64)> {
         meta.push(label);
         for seed in 0..seeds {
             grid.push(format!("crash/{label}/seed{seed}"), move || {
-                let mut cfg = mk_cfg().with_seed(seed);
-                cfg.fs.timer_tick = SimDuration::from_micros(1);
-                let mut stack = IoStack::new(cfg);
-                let f = stack.create_global_file();
-                stack.add_thread(Box::new(RandWrite::new(
-                    FileRef::Global(f),
-                    64,
-                    WriteMode::SyncEach(sync),
-                    100,
-                )));
-                stack.run_for(SimDuration::from_millis(2 + seed * 3));
-                let crash = stack.crash();
-                (crash.fs_violations.len() + crash.epoch_violations.len()) as u64
+                crate::crash::sampled_crash_violations(
+                    mk_cfg().with_seed(seed),
+                    sync,
+                    SimDuration::from_millis(2 + seed * 3),
+                )
             });
         }
     }

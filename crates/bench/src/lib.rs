@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod crash;
 pub mod experiments;
 mod grid;
 

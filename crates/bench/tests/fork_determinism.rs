@@ -1,0 +1,129 @@
+//! Fork correctness: `IoStack::fork()` must be a perfect snapshot.
+//!
+//! Two properties back the crash enumerator:
+//!
+//! 1. **Bit-identity** — a forked stack, run to completion, produces
+//!    exactly the state an uninterrupted run produces (256 randomized
+//!    fork points over three stack presets).
+//! 2. **No aliasing** — the fork and the original share no pooled
+//!    buffers (Txn arena, journal waiter lists, payload vecs, device tag
+//!    buffers): running either one must not perturb the other.
+
+use barrier_io::{DeviceProfile, FileRef, IoStack, StackConfig, TxnRecord};
+use bio_sim::{SimDuration, SimTime};
+use bio_workloads::{RandWrite, SyncMode, WriteMode};
+
+/// Common absolute horizon every run is driven to before fingerprinting:
+/// comfortably past trace completion *and* trailing checkpoint writes, so
+/// the observation point is identical no matter how a run was stepped.
+const HORIZON: SimDuration = SimDuration::from_millis(20);
+
+fn run_to_horizon(stack: &mut IoStack) {
+    let elapsed = stack.now().saturating_since(SimTime::ZERO);
+    stack.run_for(HORIZON.saturating_sub(elapsed));
+}
+
+fn mk_stack(case: u64) -> IoStack {
+    let (cfg, sync) = match case % 3 {
+        0 => (StackConfig::ext4_dr(DeviceProfile::ufs()), SyncMode::Fsync),
+        1 => (StackConfig::bfs(DeviceProfile::ufs()), SyncMode::Fsync),
+        _ => (
+            StackConfig::bfs(DeviceProfile::ufs()).ordering_only(),
+            SyncMode::Fbarrier,
+        ),
+    };
+    let mut cfg = cfg.with_seed(case).with_history();
+    cfg.fs.timer_tick = SimDuration::from_micros(1);
+    let mut stack = IoStack::new(cfg);
+    let f = stack.create_global_file();
+    stack.add_thread(Box::new(RandWrite::new(
+        FileRef::Global(f),
+        32,
+        WriteMode::SyncEach(sync),
+        12,
+    )));
+    stack
+}
+
+/// Everything observable at end of run: txn count, journal ground truth,
+/// and the exact durable surface of every device.
+type Fingerprint = (u64, Vec<TxnRecord>, Vec<Vec<(u64, u64)>>);
+
+fn fingerprint(stack: &IoStack) -> Fingerprint {
+    let images = stack
+        .devices()
+        .iter()
+        .map(|d| {
+            let mut v: Vec<(u64, u64)> = d.final_image().iter().map(|(l, t)| (l.0, t.0)).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    (
+        stack.report().run.txns,
+        stack.fs().records().to_vec(),
+        images,
+    )
+}
+
+#[test]
+fn fork_then_run_is_bit_identical_256_cases() {
+    for case in 0u64..256 {
+        let mut baseline = mk_stack(case);
+        run_to_horizon(&mut baseline);
+        let expect = fingerprint(&baseline);
+
+        let mut original = mk_stack(case);
+        // Scatter fork points across the whole run (golden-ratio hash).
+        let fork_step = (case.wrapping_mul(2_654_435_761) % 1_500) as usize;
+        for _ in 0..fork_step {
+            if !original.step() {
+                break;
+            }
+        }
+        let mut fork = original.fork();
+
+        // Run the FORK to the horizon first: if it aliased any pooled
+        // buffer, finishing it would corrupt the original below.
+        run_to_horizon(&mut fork);
+        assert_eq!(
+            fingerprint(&fork),
+            expect,
+            "fork continuation diverged (case {case}, fork step {fork_step})"
+        );
+        run_to_horizon(&mut original);
+        assert_eq!(
+            fingerprint(&original),
+            expect,
+            "original diverged after its fork ran (case {case}, fork step {fork_step})"
+        );
+    }
+}
+
+#[test]
+fn interleaved_fork_and_original_share_no_pooled_state() {
+    let mut baseline = mk_stack(7);
+    run_to_horizon(&mut baseline);
+    let expect = fingerprint(&baseline);
+
+    // Fork mid-commit, while the Txn arena, waiter lists and payload
+    // pools are all hot.
+    let mut original = mk_stack(7);
+    let mut guard = 0u64;
+    while original.fs().records().len() < 3 && original.step() {
+        guard += 1;
+        assert!(guard < 1_000_000, "trace never reached 3 commits");
+    }
+    let mut fork = original.fork();
+
+    // Strict interleaving maximizes the window for cross-talk through
+    // any accidentally shared allocation.
+    for _ in 0..1_000 {
+        original.step();
+        fork.step();
+    }
+    run_to_horizon(&mut original);
+    run_to_horizon(&mut fork);
+    assert_eq!(fingerprint(&original), expect, "original corrupted");
+    assert_eq!(fingerprint(&fork), expect, "fork corrupted");
+}

@@ -24,7 +24,7 @@
 
 use std::collections::VecDeque;
 
-use bio_flash::{CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
+use bio_flash::{BlockTag, CmdId, Command, DevAction, DevEvent, Device, Priority, WriteFlags};
 use bio_sim::{ActionSink, SeqTable, SimDuration, SimTime};
 
 use crate::epoch::EpochScheduler;
@@ -45,8 +45,22 @@ pub enum DispatchMode {
     OrderPreserving,
 }
 
+/// How the block layer maps a request to a hardware queue on a multi-queue
+/// topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneRouting {
+    /// Spread by request id (round-robin-ish; the historical default).
+    #[default]
+    ByRequestId,
+    /// Route by submitting context ([`BlockRequest::origin`]): every
+    /// request from one thread lands on one deterministic hardware queue,
+    /// like the kernel's per-CPU software queues feeding blk-mq.
+    ByThread,
+}
+
 /// Everything the block layer needs to know, in one place: the base
-/// scheduler, the dispatch discipline and the lane [`Topology`].
+/// scheduler, the dispatch discipline, the lane [`Topology`] and the
+/// software-queue routing policy.
 ///
 /// Replaces the old `BlockLayer::new(dev, scheduler, dispatch)` positional
 /// constructor so new knobs extend this struct instead of churning every
@@ -59,6 +73,8 @@ pub struct BlockConfig {
     pub dispatch: DispatchMode,
     /// Lane topology (queues × devices, stripe unit).
     pub topology: Topology,
+    /// Hardware-queue selection policy.
+    pub routing: LaneRouting,
 }
 
 impl Default for BlockConfig {
@@ -67,6 +83,7 @@ impl Default for BlockConfig {
             scheduler: SchedulerKind::Elevator,
             dispatch: DispatchMode::OrderPreserving,
             topology: Topology::single(),
+            routing: LaneRouting::ByRequestId,
         }
     }
 }
@@ -78,13 +95,19 @@ impl BlockConfig {
         BlockConfig {
             scheduler,
             dispatch,
-            topology: Topology::single(),
+            ..BlockConfig::default()
         }
     }
 
     /// Builder-style topology override.
     pub fn with_topology(mut self, topology: Topology) -> BlockConfig {
         self.topology = topology;
+        self
+    }
+
+    /// Builder-style routing override.
+    pub fn with_routing(mut self, routing: LaneRouting) -> BlockConfig {
+        self.routing = routing;
         self
     }
 }
@@ -153,10 +176,13 @@ pub struct LaneStats {
     pub reassignments: u64,
     /// Requests currently queued (scheduler + held).
     pub queued: usize,
+    /// Requests (or split parts) the routing policy placed on this lane —
+    /// how evenly the [`LaneRouting`] choice spreads the submitted load.
+    pub routed: u64,
 }
 
 /// One `(device, hardware queue)` lane: scheduler plus dispatch state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Lane {
     sched: EpochScheduler,
     /// A dispatched request the device bounced; retried on `Retry`.
@@ -164,6 +190,8 @@ struct Lane {
     retry_pending: bool,
     dispatched: u64,
     busy_retries: u64,
+    /// Requests routed to this lane at admission.
+    routed: u64,
 }
 
 impl Lane {
@@ -180,25 +208,44 @@ impl Lane {
 
 /// Split-request bookkeeping: parts still in flight plus the original bio
 /// ids to complete when the last part lands.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SplitState {
     remaining: u32,
     ids: Vec<ReqId>,
 }
 
+/// An in-flight device command: the bio ids it answers for, plus the
+/// write-payload buffer to hand back to the submitter's arena when the
+/// command completes.
+#[derive(Debug, Clone)]
+struct InflightCmd {
+    ids: Vec<ReqId>,
+    payload: Vec<BlockTag>,
+}
+
+/// Cap on the completion-side payload-buffer pool; beyond it buffers are
+/// simply dropped.
+const RECLAIM_POOL_CAP: usize = 64;
+
 /// The order-preserving block device layer over an N-queue × M-device
 /// lane topology.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the layer — lanes (schedulers included, via
+/// `IoScheduler::clone_box`), devices, in-flight tables and sequencer
+/// state — so a clone evolves bit-identically under the same event
+/// stream. This is the `bio-block` leg of stack `fork()`.
+#[derive(Debug, Clone)]
 pub struct BlockLayer {
     topology: Topology,
     mode: DispatchMode,
+    routing: LaneRouting,
     lanes: Vec<Lane>,
     devs: Vec<Device>,
     /// Commands in flight per device, keyed by the bump-allocated
     /// [`CmdId`] (dense sliding-window table; commands complete roughly in
     /// dispatch order, so the window stays narrow and a completion for an
     /// already-retired id reads as absent instead of aliasing).
-    inflight: Vec<SeqTable<Vec<ReqId>>>,
+    inflight: Vec<SeqTable<InflightCmd>>,
     /// Per-device command-id allocators (each device sees a dense,
     /// monotonically increasing id stream).
     next_cmd: Vec<u64>,
@@ -217,6 +264,9 @@ pub struct BlockLayer {
     /// Reusable scratch for device actions — the device write path runs
     /// once per command, so this keeps the hot loop allocation-free.
     dev_scratch: Vec<DevAction>,
+    /// Payload buffers retired by completed write commands, awaiting
+    /// return to the submitting filesystem's arena.
+    reclaimed: Vec<Vec<BlockTag>>,
 }
 
 impl BlockLayer {
@@ -248,12 +298,14 @@ impl BlockLayer {
                 retry_pending: false,
                 dispatched: 0,
                 busy_retries: 0,
+                routed: 0,
             })
             .collect();
         let n = devices.len();
         BlockLayer {
             topology: cfg.topology,
             mode: cfg.dispatch,
+            routing: cfg.routing,
             lanes,
             inflight: (0..n).map(|_| SeqTable::new()).collect(),
             next_cmd: vec![1; n],
@@ -266,6 +318,7 @@ impl BlockLayer {
             next_split: 1,
             stats: BlockStats::default(),
             dev_scratch: Vec::new(),
+            reclaimed: Vec::new(),
         }
     }
 
@@ -336,8 +389,23 @@ impl BlockLayer {
                 busy_retries: l.busy_retries,
                 reassignments: l.sched.reassignments(),
                 queued: l.sched.len() + usize::from(l.held.is_some()),
+                routed: l.routed,
             })
             .collect()
+    }
+
+    /// Pops one payload buffer retired by a completed write command, for
+    /// return to the submitter's arena (cleared, capacity preserved).
+    pub fn pop_reclaimed_payload(&mut self) -> Option<Vec<BlockTag>> {
+        self.reclaimed.pop()
+    }
+
+    /// Banks a retired payload buffer for return to the submitter.
+    fn reclaim_payload(&mut self, mut buf: Vec<BlockTag>) {
+        if self.reclaimed.len() < RECLAIM_POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.reclaimed.push(buf);
+        }
     }
 
     /// Requests waiting in the block layer (not yet dispatched), summed
@@ -354,6 +422,7 @@ impl BlockLayer {
     pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut ActionSink<BlockAction>) {
         self.stats.submitted += 1;
         if self.topology.is_single() {
+            self.lanes[0].routed += 1;
             self.lanes[0].sched.enqueue(req);
             self.pump_lane(0, now, out);
         } else {
@@ -412,7 +481,10 @@ impl BlockLayer {
             req.flags.barrier = false;
             req.flags.ordered = true;
         }
-        let hw_queue = (req.id.0 % self.topology.nr_hw_queues as u64) as usize;
+        let hw_queue = match self.routing {
+            LaneRouting::ByRequestId => (req.id.0 % self.topology.nr_hw_queues as u64) as usize,
+            LaneRouting::ByThread => req.origin as usize % self.topology.nr_hw_queues,
+        };
         let key = self.next_split;
         self.next_split += 1;
         let mut remaining = 0u32;
@@ -426,11 +498,12 @@ impl BlockLayer {
                             tags: tags[off as usize..(off + n) as usize].to_vec(),
                         },
                         flags: req.flags,
+                        origin: req.origin,
                     };
                     remaining += 1;
-                    self.lanes[self.topology.lane(dev, hw_queue)]
-                        .sched
-                        .enqueue(part);
+                    let lane = self.topology.lane(dev, hw_queue);
+                    self.lanes[lane].routed += 1;
+                    self.lanes[lane].sched.enqueue(part);
                 }
             }
             ReqOp::Read { start, count } => {
@@ -442,11 +515,12 @@ impl BlockLayer {
                             count: n,
                         },
                         flags: req.flags,
+                        origin: req.origin,
                     };
                     remaining += 1;
-                    self.lanes[self.topology.lane(dev, hw_queue)]
-                        .sched
-                        .enqueue(part);
+                    let lane = self.topology.lane(dev, hw_queue);
+                    self.lanes[lane].routed += 1;
+                    self.lanes[lane].sched.enqueue(part);
                 }
             }
             // A flush drains every device's cache.
@@ -456,11 +530,12 @@ impl BlockLayer {
                         id: self.alloc_part(key),
                         op: ReqOp::Flush,
                         flags: req.flags,
+                        origin: req.origin,
                     };
                     remaining += 1;
-                    self.lanes[self.topology.lane(dev, hw_queue)]
-                        .sched
-                        .enqueue(part);
+                    let lane = self.topology.lane(dev, hw_queue);
+                    self.lanes[lane].routed += 1;
+                    self.lanes[lane].sched.enqueue(part);
                 }
             }
         }
@@ -472,6 +547,11 @@ impl BlockLayer {
                 ids: vec![req.id],
             },
         );
+        // The original payload was sliced into per-device parts above;
+        // hand its buffer back to the submitter's arena.
+        if let ReqOp::Write { tags, .. } = req.op {
+            self.reclaim_payload(tags);
+        }
         if closes_epoch {
             for lane in &mut self.lanes {
                 lane.sched.fence();
@@ -539,13 +619,20 @@ impl BlockLayer {
                 }
             };
             let cmd = self.build_command(di, &m);
-            let ids = m.ids.clone();
             let cmd_id = cmd.id;
             match self.devs[di].submit(cmd, now, &mut scratch) {
                 Ok(()) => {
                     self.stats.dispatched += 1;
                     self.lanes[li].dispatched += 1;
-                    self.inflight[di].insert(cmd_id.0, ids);
+                    // The request is consumed here; its payload buffer
+                    // parks in the in-flight table until completion, when
+                    // it is reclaimed for the submitter's arena.
+                    let MergedRequest { req, ids } = m;
+                    let payload = match req.op {
+                        ReqOp::Write { tags, .. } => tags,
+                        _ => Vec::new(),
+                    };
+                    self.inflight[di].insert(cmd_id.0, InflightCmd { ids, payload });
                     self.apply_dev_actions(di, &mut scratch, now, out);
                 }
                 Err(_cmd) => {
@@ -605,10 +692,12 @@ impl BlockLayer {
                     // The sliding window makes a retired id read as
                     // absent, so a duplicated or forged completion is
                     // dropped instead of double-completing its bios.
-                    let Some(ids) = self.inflight[di].remove(c.id.0) else {
+                    let Some(InflightCmd { ids, payload }) = self.inflight[di].remove(c.id.0)
+                    else {
                         debug_assert!(false, "completion for unknown command {:?}", c.id);
                         continue;
                     };
+                    self.reclaim_payload(payload);
                     if self.topology.is_single() {
                         for rid in ids {
                             self.stats.completed += 1;

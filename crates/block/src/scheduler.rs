@@ -15,6 +15,9 @@ pub const MAX_MERGE_BLOCKS: u64 = 128;
 /// A single-queue IO scheduler: requests go in, dispatchable (possibly
 /// merged) requests come out.
 pub trait IoScheduler: core::fmt::Debug {
+    /// Deep-copies the scheduler behind a fresh box (the `bio-block` leg
+    /// of stack `fork()` — lanes hold schedulers as trait objects).
+    fn clone_box(&self) -> Box<dyn IoScheduler + Send>;
     /// Adds a request to the queue, merging where allowed.
     fn enqueue(&mut self, req: BlockRequest);
     /// Removes the next request to dispatch, or `None` if the queue is
@@ -33,7 +36,7 @@ pub trait IoScheduler: core::fmt::Debug {
 }
 
 /// FIFO scheduler with adjacent-write merging (the kernel's NOOP).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NoopScheduler {
     queue: VecDeque<MergedRequest>,
 }
@@ -46,6 +49,10 @@ impl NoopScheduler {
 }
 
 impl IoScheduler for NoopScheduler {
+    fn clone_box(&self) -> Box<dyn IoScheduler + Send> {
+        Box::new(self.clone())
+    }
+
     fn enqueue(&mut self, req: BlockRequest) {
         let incoming = MergedRequest::single(req);
         for existing in self.queue.iter_mut() {
@@ -72,7 +79,7 @@ impl IoScheduler for NoopScheduler {
 /// Elevator scheduler: merges like NOOP but dispatches in ascending-LBA
 /// sweeps (one-way elevator), approximating CFQ's seek-minimising order.
 /// Reads and flushes keep FIFO order relative to their arrival batch.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ElevatorScheduler {
     queue: VecDeque<MergedRequest>,
     /// Position of the last dispatched write, for the sweep.
@@ -87,6 +94,10 @@ impl ElevatorScheduler {
 }
 
 impl IoScheduler for ElevatorScheduler {
+    fn clone_box(&self) -> Box<dyn IoScheduler + Send> {
+        Box::new(self.clone())
+    }
+
     fn enqueue(&mut self, req: BlockRequest) {
         let incoming = MergedRequest::single(req);
         for existing in self.queue.iter_mut() {

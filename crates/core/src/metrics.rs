@@ -7,7 +7,7 @@ use bio_sim::{LatencyHistogram, LatencySummary, SimDuration, SimTime};
 use crate::ops::OpKind;
 
 /// Accumulated metrics for one operation kind.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OpMetrics {
     /// Completed operations.
     pub count: u64,
@@ -29,7 +29,7 @@ impl OpMetrics {
 }
 
 /// Live metrics collector.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     ops: HashMap<OpKind, OpMetrics>,
     /// Application transactions completed (TxnMark ops).

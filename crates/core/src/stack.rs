@@ -42,6 +42,21 @@ struct WThread {
     op_started: SimTime,
 }
 
+impl Clone for WThread {
+    fn clone(&self) -> Self {
+        WThread {
+            workload: self.workload.fork().expect(
+                "IoStack::fork() requires forkable workloads (Workload::fork returned None)",
+            ),
+            slots: self.slots.clone(),
+            state: self.state,
+            rng: self.rng.clone(),
+            current_kind: self.current_kind,
+            op_started: self.op_started,
+        }
+    }
+}
+
 /// Full report of one run: per-op metrics plus device/fs/block counters.
 #[derive(Debug, Clone)]
 pub struct StackReport {
@@ -149,6 +164,7 @@ impl IoStack {
                 scheduler: cfg.scheduler,
                 dispatch: cfg.dispatch,
                 topology: cfg.topology,
+                routing: cfg.routing,
             },
         );
         let fs = Filesystem::new(cfg.fs.clone());
@@ -179,6 +195,44 @@ impl IoStack {
     /// The configuration.
     pub fn config(&self) -> &StackConfig {
         &self.cfg
+    }
+
+    /// Forks the stack: a deep, independent copy of every layer — event
+    /// queue, filesystem (transaction table, arenas), block layer (lanes,
+    /// schedulers, in-flight splits), devices (FTL, cache, command queue,
+    /// append log) and workload threads. Running the fork and the
+    /// original produces bit-identical futures, and neither observes the
+    /// other (crash-point enumeration forks at an epoch boundary instead
+    /// of replaying from t=0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when any workload thread is not forkable
+    /// ([`Workload::fork`] returns `None`, e.g. [`crate::FnWorkload`]).
+    pub fn fork(&self) -> IoStack {
+        debug_assert!(self.fs_sink.is_empty(), "sinks are drained between events");
+        debug_assert!(
+            self.block_sink.is_empty(),
+            "sinks are drained between events"
+        );
+        IoStack {
+            cfg: self.cfg.clone(),
+            q: self.q.clone(),
+            fs: self.fs.clone(),
+            block: self.block.clone(),
+            threads: self.threads.clone(),
+            metrics: self.metrics.clone(),
+            congested: self.congested.clone(),
+            global_files: self.global_files.clone(),
+            measure_start: self.measure_start,
+            dev_blocks_at_start: self.dev_blocks_at_start,
+            fs_sink: ActionSink::new(),
+            block_sink: ActionSink::new(),
+            cohort: self.cohort.clone(),
+            cohort_pos: self.cohort_pos,
+            finished_threads: self.finished_threads,
+            single_step: self.single_step,
+        }
     }
 
     /// Current simulated time.
@@ -292,6 +346,12 @@ impl IoStack {
                     self.q.push_after(d, Event::Block(ev));
                 }
             }
+        }
+        // Completion-side payload return: tag buffers the block layer
+        // retired (command completions, split submissions) go back into
+        // the filesystem's arena instead of the allocator.
+        while let Some(buf) = self.block.pop_reclaimed_payload() {
+            self.fs.restore_payload_buf(buf);
         }
     }
 

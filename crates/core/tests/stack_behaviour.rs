@@ -296,7 +296,7 @@ fn deterministic_given_seed() {
         stack.run_until_done(SimDuration::from_secs(120));
         (
             stack.now().as_nanos(),
-            stack.device().stats().blocks_written,
+            stack.device_at(0).stats().blocks_written,
         )
     };
     assert_eq!(run(1), run(1), "same seed must reproduce exactly");
@@ -326,5 +326,5 @@ fn workload_closure_api_works() {
         })
     })));
     assert!(stack.run_until_done(SimDuration::from_secs(60)));
-    assert!(stack.device().stats().blocks_written > 0);
+    assert!(stack.device_at(0).stats().blocks_written > 0);
 }

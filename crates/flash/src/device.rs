@@ -31,7 +31,11 @@ use crate::ftl::Ftl;
 use crate::profile::{BarrierMode, DeviceProfile};
 use crate::queue::CommandQueue;
 use crate::recovery::{AppendLog, PersistedImage, TransferRec};
-use crate::types::{CmdId, CmdKind, Command, Completion};
+use crate::types::{BlockTag, CmdId, CmdKind, Command, Completion};
+
+/// Cap on recycled tag buffers held by the device; beyond this the Vec is
+/// simply dropped (the pool only needs to cover the in-flight window).
+const TAG_BUF_POOL_CAP: usize = 64;
 
 /// Internal device events; the host event loop schedules these back via
 /// [`Device::handle`].
@@ -90,7 +94,7 @@ enum DrainKind {
 /// a [`RunSet`] of sorted runs (usually exactly one), not a hash set:
 /// membership updates are a binary search over a handful of runs instead
 /// of a hash+probe per program completion.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Drain {
     id: CmdId,
     remaining: RunSet,
@@ -114,7 +118,7 @@ enum Stage {
     Draining,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ActiveCmd {
     cmd: Command,
     stage: Stage,
@@ -131,7 +135,7 @@ struct DestageInfo {
 }
 
 /// Transactional-writeback engine state.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct TransState {
     open: Option<(u64, HashSet<u64>)>,
     next_gid: u64,
@@ -158,7 +162,12 @@ pub struct DeviceStats {
 }
 
 /// The simulated storage device.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the whole machine — queue, cache, FTL, chips,
+/// append log, in-flight bookkeeping and RNG — so a clone evolves
+/// bit-identically to the original under the same event stream. This is
+/// the `bio-flash` leg of stack `fork()`.
+#[derive(Debug, Clone)]
 pub struct Device {
     profile: DeviceProfile,
     rng: SimRng,
@@ -196,6 +205,10 @@ pub struct Device {
     qd_series: TimeSeries,
     stats: DeviceStats,
     next_pump_at: Option<SimTime>,
+    /// Recycled tag buffers: write commands retire their payload `Vec`s
+    /// here at completion, and cache insertion draws its working copy from
+    /// the pool, so the steady-state write path stops allocating.
+    tag_bufs: Vec<Vec<BlockTag>>,
 }
 
 impl Device {
@@ -226,6 +239,7 @@ impl Device {
             qd_series: TimeSeries::new(),
             stats: DeviceStats::default(),
             next_pump_at: None,
+            tag_bufs: Vec::new(),
             profile,
         }
     }
@@ -274,6 +288,27 @@ impl Device {
     /// The transfer history, when recording is enabled.
     pub fn history(&self) -> Option<&[TransferRec]> {
         self.history.as_deref()
+    }
+
+    /// The append log (durable prefix + in-flight tail). The crash
+    /// enumerator reads this to construct every admissible crash image at
+    /// a fork point instead of the single sampled one.
+    pub fn append_log(&self) -> &AppendLog {
+        &self.log
+    }
+
+    /// The writeback cache (read-only), exposing pending entries and
+    /// their barrier epochs to the crash enumerator.
+    pub fn cache(&self) -> &WritebackCache {
+        &self.cache
+    }
+
+    /// Transactional-writeback groups committed so far (meaningful only
+    /// under [`BarrierMode::Transactional`]; empty in other modes). The
+    /// crash enumerator needs this to tell all-or-nothing groups that are
+    /// already pinned durable from those still free to vanish.
+    pub fn committed_groups(&self) -> impl Iterator<Item = u64> + '_ {
+        self.trans.committed.iter().copied()
     }
 
     /// Submits a command. Returns the command back when the queue is full
@@ -598,15 +633,27 @@ impl Device {
     /// honouring the barrier flag on the final block. Returns the cache
     /// sequences of the inserted blocks.
     fn insert_blocks(&mut self, id: CmdId) -> Vec<u64> {
-        let Some((start, tags, flags)) = self.active.get(id.0).and_then(|a| match &a.cmd.kind {
-            CmdKind::Write { start, tags, flags } => Some((*start, tags.clone(), *flags)),
+        // The working copy of the payload comes from the recycled-buffer
+        // pool (the active entry keeps its own Vec until completion).
+        let mut tags = self.tag_bufs.pop().unwrap_or_default();
+        tags.clear();
+        let Some((start, flags)) = self.active.get(id.0).and_then(|a| match &a.cmd.kind {
+            CmdKind::Write {
+                start,
+                tags: t,
+                flags,
+            } => {
+                tags.extend_from_slice(t);
+                Some((*start, *flags))
+            }
             _ => None,
         }) else {
+            self.reclaim_tag_buf(tags);
             return Vec::new();
         };
         let n = tags.len();
         let mut seqs = Vec::with_capacity(n);
-        for (i, tag) in tags.into_iter().enumerate() {
+        for (i, &tag) in tags.iter().enumerate() {
             let lba = start.offset(i as u64);
             let barrier = flags.barrier && i + 1 == n;
             let seq = self.cache.insert(lba, tag, barrier);
@@ -622,7 +669,16 @@ impl Device {
                 });
             }
         }
+        self.reclaim_tag_buf(tags);
         seqs
+    }
+
+    /// Banks a retired payload buffer for reuse by later inserts.
+    fn reclaim_tag_buf(&mut self, mut buf: Vec<BlockTag>) {
+        if self.tag_bufs.len() < TAG_BUF_POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.tag_bufs.push(buf);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -793,8 +849,11 @@ impl Device {
         let Some(active) = self.active.remove(id.0) else {
             return;
         };
-        if matches!(active.cmd.kind, CmdKind::Flush) {
-            self.stats.flush_cmds += 1;
+        match active.cmd.kind {
+            CmdKind::Flush => self.stats.flush_cmds += 1,
+            // A retiring write hands its payload buffer back to the pool.
+            CmdKind::Write { tags, .. } => self.reclaim_tag_buf(tags),
+            CmdKind::Read { .. } => {}
         }
         let released = self.queue.complete(id);
         debug_assert!(released, "active command missing from queue");

@@ -114,7 +114,7 @@ enum SyscallState {
 /// assigned contiguously by the embedding simulator, so the table is a
 /// direct-indexed `Vec` rather than a hash map — the syscall continuation
 /// lookup sits on every request-completion path.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct ThreadTable {
     slots: Vec<Option<SyscallState>>,
 }
@@ -187,8 +187,15 @@ pub struct FsStats {
     pub dropped_journal_events: u64,
 }
 
+/// Cap on the payload-buffer arena ([`Filesystem::restore_payload_buf`]).
+const PAYLOAD_POOL_CAP: usize = 64;
+
 /// The simulated filesystem.
-#[derive(Debug)]
+///
+/// `Clone` is a deep copy: every table, transaction, pool and scratch
+/// buffer is duplicated, so a clone is an independent fork of the machine
+/// (the `bio-fs` leg of stack `fork()`).
+#[derive(Debug, Clone)]
 pub struct Filesystem {
     pub(crate) cfg: FsConfig,
     pub(crate) layout: Layout,
@@ -237,6 +244,11 @@ pub struct Filesystem {
     pub(crate) scratch_files: Vec<FileId>,
     /// Scratch for checkpoint write lists (same lifecycle).
     pub(crate) scratch_writes: Vec<(Lba, BlockTag)>,
+    /// Arena of journal-record payload buffers: the tag `Vec`s moved into
+    /// submitted [`BlockRequest`]s come from here and return through
+    /// [`Filesystem::restore_payload_buf`] when the block layer retires
+    /// the command (completion-side return path).
+    pub(crate) payload_pool: Vec<Vec<BlockTag>>,
 }
 
 impl Filesystem {
@@ -281,7 +293,24 @@ impl Filesystem {
             txn_pool: Vec::new(),
             scratch_files: Vec::new(),
             scratch_writes: Vec::new(),
+            payload_pool: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Pops a recycled payload buffer (empty, capacity retained), or a
+    /// fresh one when the arena is dry.
+    pub(crate) fn take_payload_buf(&mut self) -> Vec<BlockTag> {
+        self.payload_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a payload buffer to the arena. The embedding stack calls
+    /// this with the tag `Vec`s the block layer hands back at command
+    /// completion, closing the submit→complete→reuse loop.
+    pub fn restore_payload_buf(&mut self, mut buf: Vec<BlockTag>) {
+        if self.payload_pool.len() < PAYLOAD_POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.payload_pool.push(buf);
         }
     }
 
@@ -517,7 +546,10 @@ impl Filesystem {
                     Some((s, ts)) if lba.0 == s.0 + ts.len() as u64 => ts.push(tag),
                     _ => {
                         segs.extend(seg.take());
-                        seg = Some((lba, vec![tag]));
+                        // Disjoint field borrow: `f` holds `self.files`.
+                        let mut ts = self.payload_pool.pop().unwrap_or_default();
+                        ts.push(tag);
+                        seg = Some((lba, ts));
                     }
                 }
             }
@@ -526,9 +558,12 @@ impl Filesystem {
         segs.sort_by_key(|(l, _)| *l);
         // Coalesce segments that are LBA-adjacent across runs/extents.
         let mut merged: Vec<(Lba, Vec<BlockTag>)> = Vec::with_capacity(segs.len());
-        for (start, tags) in segs {
+        for (start, mut tags) in segs {
             match merged.last_mut() {
-                Some((s, ts)) if start.0 == s.0 + ts.len() as u64 => ts.extend(tags),
+                Some((s, ts)) if start.0 == s.0 + ts.len() as u64 => {
+                    ts.append(&mut tags);
+                    self.restore_payload_buf(tags);
+                }
                 _ => merged.push((start, tags)),
             }
         }
@@ -548,7 +583,12 @@ impl Filesystem {
                 f.barrier = true;
                 f.ordered = true;
             }
-            out.push(FsAction::Submit(BlockRequest::write(rid, start, tags, f)));
+            // Data writes carry the submitting thread as origin so the
+            // block layer can route them thread-affine (`LaneRouting::
+            // ByThread`); origin 0 stays reserved for kernel contexts.
+            out.push(FsAction::Submit(
+                BlockRequest::write(rid, start, tags, f).with_origin(tid.0.wrapping_add(1)),
+            ));
             reqs.push(rid);
         }
         (reqs, pairs)
@@ -918,7 +958,9 @@ impl Filesystem {
             return SyscallOutcome::Done; // hole: zeros, no IO
         };
         let rid = self.alloc_req(Purpose::Read(tid));
-        out.push(FsAction::Submit(BlockRequest::read(rid, start, blocks)));
+        out.push(FsAction::Submit(
+            BlockRequest::read(rid, start, blocks).with_origin(tid.0.wrapping_add(1)),
+        ));
         self.syscalls.set(tid, SyscallState::AwaitRead);
         SyscallOutcome::Blocked
     }
@@ -1079,10 +1121,12 @@ impl Filesystem {
                 let lba = f.lba_of(b).expect("allocated");
                 let rid = self.alloc_req(Purpose::Writeback);
                 self.stats.writeback_blocks += 1;
+                let mut tags = self.take_payload_buf();
+                tags.push(tag);
                 out.push(FsAction::Submit(BlockRequest::write(
                     rid,
                     lba,
-                    vec![tag],
+                    tags,
                     ReqFlags::NONE,
                 )));
             }

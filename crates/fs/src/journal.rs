@@ -215,7 +215,8 @@ impl Filesystem {
         };
         let jd_blocks = 1 + n_logs + data_journal;
         let lba = self.layout.alloc_journal(jd_blocks + 1); // + commit block
-        let tags = self.layout.next_tags(jd_blocks as usize);
+        let mut tags = self.take_payload_buf();
+        self.layout.next_tags_into(jd_blocks as usize, &mut tags);
         let jc_lba = bio_flash::Lba(lba.0 + jd_blocks);
         if let Some(t) = self.txns.get_mut(txn) {
             t.jd_lba = Some(lba);
@@ -268,11 +269,10 @@ impl Filesystem {
                 preflush: false,
             },
         };
+        let mut tags = self.take_payload_buf();
+        tags.push(tag);
         out.push(FsAction::Submit(BlockRequest::write(
-            rid,
-            jc_lba,
-            vec![tag],
-            flags,
+            rid, jc_lba, tags, flags,
         )));
         // The commit is now fully described: record ground truth.
         self.record_txn(txn);
@@ -596,12 +596,9 @@ impl Filesystem {
         for (lba, tag) in writes.drain(..) {
             let rid = self.alloc_req(Purpose::Checkpoint(txn));
             self.stats.checkpoint_blocks += 1;
-            out.push(FsAction::Submit(BlockRequest::write(
-                rid,
-                lba,
-                vec![tag],
-                flags,
-            )));
+            let mut tags = self.take_payload_buf();
+            tags.push(tag);
+            out.push(FsAction::Submit(BlockRequest::write(rid, lba, tags, flags)));
         }
         self.scratch_writes = writes;
     }
@@ -688,12 +685,12 @@ impl Filesystem {
                 let lba = f.lba_of(b).expect("allocated");
                 let rid = self.alloc_req(Purpose::Data(tid));
                 self.stats.data_blocks += 1;
-                out.push(FsAction::Submit(BlockRequest::write(
-                    rid,
-                    lba,
-                    vec![tag],
-                    ReqFlags::NONE,
-                )));
+                let mut tags = self.take_payload_buf();
+                tags.push(tag);
+                out.push(FsAction::Submit(
+                    BlockRequest::write(rid, lba, tags, ReqFlags::NONE)
+                        .with_origin(tid.0.wrapping_add(1)),
+                ));
                 reqs.push(rid);
                 pairs.push((lba, tag));
             }

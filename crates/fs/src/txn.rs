@@ -183,7 +183,7 @@ impl Txn {
 /// traces (`crates/fs/tests/journal_equivalence.rs`); every observable call
 /// site is iteration-order-insensitive, so the two backends are
 /// behaviourally identical.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum TxnTable {
     /// Dense sliding-window backend (production).
     Dense(SeqTable<Txn>),

@@ -45,7 +45,7 @@ fn run_once(seed: u64) -> (u64, u64) {
     );
     let report = s.report();
     assert_eq!(report.run.txns, 16);
-    (report.run.txns, s.device().stats().blocks_written)
+    (report.run.txns, s.device_at(0).stats().blocks_written)
 }
 
 #[test]
