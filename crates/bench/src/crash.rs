@@ -31,7 +31,7 @@
 //! reported as a minimized `(trace seed, fork point, reordering choice)`
 //! triple.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use barrier_io::{
     check_crash_consistency, DeviceProfile, FileRef, IoStack, StackConfig, Topology, TxnRecord,
@@ -235,7 +235,7 @@ fn combine(p: &CrashPoint, locals: &[PersistedImage]) -> PersistedImage {
     if p.topology.is_single() {
         return locals[0].clone();
     }
-    let mut map = HashMap::new();
+    let mut map = BTreeMap::new();
     for (di, img) in locals.iter().enumerate() {
         for (local, tag) in img.iter() {
             map.insert(p.topology.global(di, local), tag);

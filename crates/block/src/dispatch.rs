@@ -159,6 +159,10 @@ pub struct BlockStats {
     /// Global epochs released by the cross-lane sequencer (multi-lane
     /// topologies only; the single-lane epoch scheduler sequences itself).
     pub epochs_sequenced: u64,
+    /// Events dropped because they referenced a lane or device that does
+    /// not exist (stale or forged events; handlers are total and never
+    /// abort on a bad index).
+    pub dropped_events: u64,
 }
 
 /// Per-lane dispatch statistics.
@@ -422,8 +426,15 @@ impl BlockLayer {
     pub fn submit(&mut self, req: BlockRequest, now: SimTime, out: &mut ActionSink<BlockAction>) {
         self.stats.submitted += 1;
         if self.topology.is_single() {
-            self.lanes[0].routed += 1;
-            self.lanes[0].sched.enqueue(req);
+            // A single-lane topology always constructs lane 0; a missing
+            // lane here would mean a half-built layer, and a submit path
+            // must drop, not abort (totality: see docs/INVARIANTS.md).
+            let Some(lane) = self.lanes.first_mut() else {
+                self.stats.dropped_events += 1;
+                return;
+            };
+            lane.routed += 1;
+            lane.sched.enqueue(req);
             self.pump_lane(0, now, out);
         } else {
             if self.gate_closed {
@@ -440,8 +451,16 @@ impl BlockLayer {
         match ev {
             BlockEvent::Dev { dev, ev } => {
                 let di = dev as usize;
+                // Device events carry their target index; a forged or
+                // stale index reads as absent and the event drops.
+                if di >= self.devs.len() {
+                    self.stats.dropped_events += 1;
+                    return;
+                }
                 let mut scratch = std::mem::take(&mut self.dev_scratch);
-                self.devs[di].handle(ev, now, &mut scratch);
+                if let Some(d) = self.devs.get_mut(di) {
+                    d.handle(ev, now, &mut scratch);
+                }
                 self.apply_dev_actions(di, &mut scratch, now, out);
                 self.dev_scratch = scratch;
                 // Completions free device queue slots: keep dispatching.
@@ -452,7 +471,11 @@ impl BlockLayer {
                 }
             }
             BlockEvent::Retry { lane } => {
-                self.lanes[lane as usize].retry_pending = false;
+                let Some(l) = self.lanes.get_mut(lane as usize) else {
+                    self.stats.dropped_events += 1;
+                    return;
+                };
+                l.retry_pending = false;
                 if self.topology.is_single() {
                     self.pump_lane(0, now, out);
                 } else {

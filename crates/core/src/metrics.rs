@@ -35,6 +35,9 @@ pub struct Metrics {
     /// Application transactions completed (TxnMark ops).
     pub txns: u64,
     started: SimTime,
+    /// Completions referencing a thread this stack never created
+    /// (forged or cross-fork events, dropped instead of panicking).
+    pub dropped_wakeups: u64,
 }
 
 impl Metrics {
@@ -63,6 +66,13 @@ impl Metrics {
     /// Attributes one context switch to an in-flight operation.
     pub fn record_ctx_switch(&mut self, kind: OpKind) {
         self.ops.entry(kind).or_default().ctx_switches += 1;
+    }
+
+    /// Counts a completion that referenced an unknown thread id — the
+    /// stack's totality contract drops such events instead of indexing
+    /// out of bounds (see `IoStack::complete_op`).
+    pub fn note_dropped_wakeup(&mut self) {
+        self.dropped_wakeups += 1;
     }
 
     /// Metrics for one kind (zeros if never seen).

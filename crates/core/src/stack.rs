@@ -2,7 +2,7 @@
 //! deterministic event loop, with simulated application threads driving
 //! workloads.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bio_block::{BlockAction, BlockConfig, BlockEvent, BlockLayer, BlockStats, LaneStats};
 use bio_flash::{audit_epoch_order, Device, DeviceStats, EpochViolation, FtlStats, PersistedImage};
@@ -359,7 +359,13 @@ impl IoStack {
     /// thread's next operation.
     fn complete_op(&mut self, tid: ThreadId) {
         let now = self.q.now();
-        let th = &mut self.threads[tid.0 as usize];
+        // A completion for a thread id this stack never created is a
+        // forged or cross-fork event: drop it with a counter (handlers
+        // are total; see docs/INVARIANTS.md).
+        let Some(th) = self.threads.get_mut(tid.0 as usize) else {
+            self.metrics.note_dropped_wakeup();
+            return;
+        };
         debug_assert_eq!(th.state, ThreadState::InSyscall);
         th.state = ThreadState::Ready;
         let latency = now.saturating_since(th.op_started);
@@ -721,7 +727,7 @@ impl IoStack {
         let image = if self.cfg.topology.is_single() {
             self.block.device().crash_image()
         } else {
-            let mut map = HashMap::new();
+            let mut map = BTreeMap::new();
             for (di, d) in self.block.devices().iter().enumerate() {
                 for (local, tag) in d.crash_image().iter() {
                     map.insert(self.cfg.topology.global(di, local), tag);

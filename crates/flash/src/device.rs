@@ -21,7 +21,7 @@
 //! closes the current epoch. How epochs constrain destaging is decided by
 //! the profile's [`BarrierMode`].
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeSet, HashSet, VecDeque};
 
 use bio_sim::{RunSet, SeqTable, SimDuration, SimRng, SimTime, TimeSeries};
 
@@ -135,11 +135,16 @@ struct DestageInfo {
 }
 
 /// Transactional-writeback engine state.
+///
+/// `committed` is an ordered set: [`Device::committed_groups`] iterates
+/// it into the crash enumerator, so the order must be reproducible
+/// across processes. `open` members are only probed (`contains`), never
+/// iterated, so the hash set stays.
 #[derive(Debug, Clone, Default)]
 struct TransState {
     open: Option<(u64, HashSet<u64>)>,
     next_gid: u64,
-    committed: HashSet<u64>,
+    committed: BTreeSet<u64>,
 }
 
 /// Aggregate device statistics.

@@ -8,7 +8,7 @@
 //! crash image is a replay of the records that survive under the device's
 //! barrier-enforcement mode.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use crate::types::{BlockTag, Lba};
 
@@ -28,10 +28,13 @@ pub struct AppendRec {
 /// The device's append history with a folded durable prefix.
 ///
 /// Records whose durability can never change again are folded into a base
-/// map so memory stays bounded on long runs.
+/// map so memory stays bounded on long runs. Ordered maps throughout:
+/// crash images flow into golden diffs and differential traces, so their
+/// iteration order must be reproducible across processes (the
+/// determinism invariant bio-lint enforces).
 #[derive(Debug, Clone, Default)]
 pub struct AppendLog {
-    base: HashMap<Lba, BlockTag>,
+    base: BTreeMap<Lba, BlockTag>,
     entries: VecDeque<AppendRec>,
     /// Append sequence number of `entries[0]`.
     start: u64,
@@ -135,15 +138,17 @@ impl AppendLog {
 }
 
 /// The storage surface content after a crash: block address → surviving
-/// content version.
+/// content version. Backed by an ordered map so [`PersistedImage::iter`]
+/// is reproducible across processes (callers fold it into recovery
+/// checks and differential traces).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PersistedImage {
-    map: HashMap<Lba, BlockTag>,
+    map: BTreeMap<Lba, BlockTag>,
 }
 
 impl PersistedImage {
     /// Creates an image from raw contents (used in tests).
-    pub fn from_map(map: HashMap<Lba, BlockTag>) -> PersistedImage {
+    pub fn from_map(map: BTreeMap<Lba, BlockTag>) -> PersistedImage {
         PersistedImage { map }
     }
 
@@ -163,7 +168,7 @@ impl PersistedImage {
         self.map.is_empty()
     }
 
-    /// Iterates over `(lba, tag)` pairs.
+    /// Iterates over `(lba, tag)` pairs in ascending LBA order.
     pub fn iter(&self) -> impl Iterator<Item = (Lba, BlockTag)> + '_ {
         self.map.iter().map(|(&l, &t)| (l, t))
     }

@@ -185,6 +185,9 @@ pub struct FsStats {
     /// Journal events dropped because they referenced a retired or
     /// never-placed transaction (stale, duplicated or forged completions).
     pub dropped_journal_events: u64,
+    /// Dirty pages dropped at submit time because no extent backed them
+    /// (corrupted tracking state; the submit path never aborts).
+    pub dropped_data_pages: u64,
 }
 
 /// Cap on the payload-buffer arena ([`Filesystem::restore_payload_buf`]).
@@ -540,8 +543,16 @@ impl Filesystem {
             let mut seg: Option<(Lba, Vec<BlockTag>)> = None;
             for (i, tag) in tags.into_iter().enumerate() {
                 let b = start + i as u64;
+                // A dirty page is always backed by an extent, so the
+                // lookup succeeds on every real path; a page without one
+                // would mean corrupted tracking state, and the submit
+                // path drops it with a counter rather than aborting the
+                // simulation (totality: see docs/INVARIANTS.md).
+                let Some(lba) = f.lba_of(b) else {
+                    self.stats.dropped_data_pages += 1;
+                    continue;
+                };
                 f.committed_blocks.insert(b, ());
-                let lba = f.lba_of(b).expect("dirty page must be allocated");
                 match &mut seg {
                     Some((s, ts)) if lba.0 == s.0 + ts.len() as u64 => ts.push(tag),
                     _ => {

@@ -168,7 +168,7 @@ pub fn check_crash_consistency(records: &[TxnRecord], image: &PersistedImage) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     fn rec(id: u64, jd_lba: u64, jd_tags: &[u64], jc_lba: u64, jc_tag: u64) -> TxnRecord {
         TxnRecord {
@@ -185,7 +185,7 @@ mod tests {
     }
 
     fn image(pairs: &[(u64, u64)]) -> PersistedImage {
-        let map: HashMap<Lba, BlockTag> =
+        let map: BTreeMap<Lba, BlockTag> =
             pairs.iter().map(|&(l, t)| (Lba(l), BlockTag(t))).collect();
         PersistedImage::from_map(map)
     }

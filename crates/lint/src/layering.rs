@@ -1,0 +1,184 @@
+//! Layer-DAG analyzer.
+//!
+//! The workspace is a strict 7-crate DAG (`bio-sim` → `bio-flash` →
+//! `bio-block` → `bio-fs` → `barrier-io` → `bio-workloads` /
+//! `bio-bench`), with the root `barrier-io-stack` package as the facade.
+//! The DAG is *hardcoded* in [`CrateKey::allowed_deps`] — this analyzer
+//! is the specification, and both the source (`use` declarations and
+//! inline `bio_x::…` paths, including in tests/benches/examples, which
+//! must not reach around the facade either) and the `Cargo.toml`
+//! dependency sections are checked against it. Adding a dependency edge
+//! therefore requires touching the lint crate, which is the point.
+
+use crate::files::{CrateKey, SourceFile};
+use crate::report::Finding;
+
+/// Scans one source file for cross-crate references.
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.scan.toks;
+    let mut out: Vec<Finding> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Some(id) = t.tok.ident() else { continue };
+        let Some(target) = CrateKey::from_lib_ident(id) else {
+            continue;
+        };
+        // Only path-position references count (`bio_fs::…` or a bare
+        // `use bio_fs;`) — a stray identifier in a doc string is already
+        // excluded by the lexer, but e.g. a local named `bio_fs` without
+        // `::` would be noise.
+        let pathish = toks.get(i + 1).is_some_and(|n| n.tok.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.tok.is_punct(':'));
+        let bare_use = i > 0
+            && toks[i - 1].tok.is_ident("use")
+            && toks.get(i + 1).is_some_and(|n| n.tok.is_punct(';'));
+        if !pathish && !bare_use {
+            continue;
+        }
+        if target == file.crate_key || file.crate_key.allowed_deps().contains(&target) {
+            continue;
+        }
+        // One finding per (target, line) — a use-decl plus path mentions
+        // on the same line collapse.
+        if out
+            .iter()
+            .any(|f| f.line == t.line && f.snippet.starts_with(id))
+        {
+            continue;
+        }
+        out.push(Finding {
+            analyzer: "layering",
+            path: file.rel.clone(),
+            line: t.line,
+            symbol: file.symbol_at(i),
+            snippet: format!("{id}::…"),
+            message: format!(
+                "`{}` must not depend on `{}` (allowed: {}); go through the facade",
+                file.crate_key.name(),
+                target.name(),
+                allowed_names(file.crate_key),
+            ),
+        });
+    }
+    out
+}
+
+/// Checks the dependency sections of one `Cargo.toml` against the DAG.
+/// `rel` is the repo-relative path, `owner` the crate the manifest
+/// belongs to.
+pub fn run_manifest(owner: CrateKey, rel: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            // `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`
+            // only — `[workspace.dependencies]` at the root is the shared
+            // version table, not an edge.
+            in_dep_section = matches!(
+                line,
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+            );
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(name) = line.split(['=', ' ', '.']).next() else {
+            continue;
+        };
+        let Some(target) = CrateKey::from_package(name.trim()) else {
+            continue;
+        };
+        if target == owner || owner.allowed_deps().contains(&target) {
+            continue;
+        }
+        out.push(Finding {
+            analyzer: "layering",
+            path: rel.to_string(),
+            line: (idx + 1) as u32,
+            symbol: format!("{}::Cargo.toml", owner.name()),
+            snippet: format!("{} = …", target.package()),
+            message: format!(
+                "`{}` must not depend on `{}` (allowed: {})",
+                owner.name(),
+                target.name(),
+                allowed_names(owner),
+            ),
+        });
+    }
+    out
+}
+
+fn allowed_names(k: CrateKey) -> String {
+    let deps = k.allowed_deps();
+    if deps.is_empty() {
+        return "nothing".to_string();
+    }
+    deps.iter().map(|d| d.name()).collect::<Vec<_>>().join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::FileKind;
+
+    #[test]
+    fn around_the_facade_is_flagged() {
+        let src = "use bio_fs::journal::Journal;\nfn f() { let _ = bio_flash::Lba(0); }";
+        let f = run(&SourceFile::new(
+            CrateKey::Workloads,
+            FileKind::Src,
+            "crates/workloads/src/x.rs",
+            src,
+        ));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("allowed: sim, core"));
+    }
+
+    #[test]
+    fn tests_obey_the_dag_too() {
+        let src = "use bio_fs::fs::Filesystem;";
+        let f = run(&SourceFile::new(
+            CrateKey::Bench,
+            FileKind::Test,
+            "crates/bench/tests/x.rs",
+            src,
+        ));
+        assert_eq!(f.len(), 1, "bench has no fs edge: {f:?}");
+    }
+
+    #[test]
+    fn allowed_edges_and_self_references_pass() {
+        let src = "use bio_sim::SimTime;\nuse bio_flash::Lba;\nuse bio_block::BlockLayer;";
+        let f = run(&SourceFile::new(
+            CrateKey::Fs,
+            FileKind::Src,
+            "crates/fs/src/x.rs",
+            src,
+        ));
+        assert!(f.is_empty(), "{f:?}");
+        let facade = run(&SourceFile::new(
+            CrateKey::Facade,
+            FileKind::Test,
+            "tests/x.rs",
+            "use bio_bench::crash::enumerate;",
+        ));
+        assert!(facade.is_empty(), "{facade:?}");
+    }
+
+    #[test]
+    fn manifests_are_checked() {
+        let toml = "[package]\nname = \"bio-workloads\"\n[dependencies]\nbio-sim = { workspace = true }\nbio-fs = { workspace = true }\n";
+        let f = run_manifest(CrateKey::Workloads, "crates/workloads/Cargo.toml", toml);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].snippet.contains("bio-fs"));
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn workspace_dependency_table_is_not_an_edge() {
+        let toml = "[workspace.dependencies]\nbio-fs = { path = \"crates/fs\" }\n";
+        let f = run_manifest(CrateKey::Facade, "Cargo.toml", toml);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,415 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! Produces a flat token stream with line numbers — just enough structure
+//! for the analyzers in this crate to reason about identifiers, method
+//! calls, paths and brace nesting without `syn` (the workspace builds
+//! hermetically offline, so no parser dependency is available). It gets
+//! right exactly the constructs that make naive text scanning wrong:
+//!
+//! * cooked strings with escapes (`"a \" b"`),
+//! * raw and byte strings (`r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`),
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * nested block comments (`/* /* */ */`) and line comments,
+//! * raw identifiers (`r#match` lexes as the identifier `match`),
+//! * numeric literals incl. floats, exponents and suffixes.
+//!
+//! Everything else is a single-character [`Tok::Punct`]; multi-character
+//! operators (`::`, `->`, `..`) appear as consecutive punct tokens, which
+//! the scanner and analyzers match as sequences.
+
+/// One lexed token (comments and whitespace are dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword. Raw identifiers (`r#match`) are stored
+    /// without the `r#` prefix so keyword matching stays uniform.
+    Ident(String),
+    /// `'a`, `'static` — distinguished from char literals by lookahead.
+    Lifetime(String),
+    /// Any string-ish literal; the contents are irrelevant to analysis.
+    Str,
+    /// A char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (any base, optional float part / suffix).
+    Num,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier name, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is exactly the punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+
+    /// True when the token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(i) if i == s)
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// Lexes a whole source file. Invalid input never panics: unrecognized
+/// bytes come out as punct tokens and unterminated literals run to EOF.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, n: usize) -> Option<char> {
+        self.chars.get(self.pos + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn emit(&mut self, tok: Tok, line: u32) {
+        self.out.push(Token { tok, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.cooked_string(line),
+                '\'' => self.quote(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.word(line),
+                _ => {
+                    self.bump();
+                    self.emit(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Block comments nest in Rust; track the depth.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// `"…"` with backslash escapes; also used for `b"…"` bodies.
+    fn cooked_string(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.emit(Tok::Str, line);
+    }
+
+    /// `r"…"` / `r#"…"#` with `hashes` guard hashes; the `r`/`br` prefix
+    /// and the hashes are already consumed.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.emit(Tok::Str, line);
+    }
+
+    /// `'` starts a lifetime or a char literal; decide by lookahead: an
+    /// ident run closed by another `'` is a char (`'a'`), otherwise a
+    /// lifetime (`'a`, `'static`).
+    fn quote(&mut self, line: u32) {
+        match self.peek(1) {
+            Some('\\') => {
+                // Escaped char literal: '\n', '\'', '\u{1F4A9}'.
+                self.bump(); // '
+                self.bump(); // backslash
+                if let Some(e) = self.bump() {
+                    if e == 'u' && self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.emit(Tok::Char, line);
+            }
+            Some(c) if is_ident_start(c) => {
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some('\'') {
+                    // 'a' — a char literal.
+                    for _ in 0..=j {
+                        self.bump();
+                    }
+                    self.emit(Tok::Char, line);
+                } else {
+                    self.bump(); // '
+                    let mut name = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        name.push(self.bump().unwrap_or_default());
+                    }
+                    self.emit(Tok::Lifetime(name), line);
+                }
+            }
+            Some('\'') => {
+                // `''` — malformed; consume both, keep going.
+                self.bump();
+                self.bump();
+                self.emit(Tok::Char, line);
+            }
+            _ => {
+                // '(' etc. — a one-char literal.
+                self.bump();
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.emit(Tok::Char, line);
+            }
+        }
+    }
+
+    /// Numeric literal: base prefixes, `_` separators, a fractional part
+    /// only when a digit follows the dot (so `0..n` stays a range), and
+    /// `e`/`E` exponents with an optional sign.
+    fn number(&mut self, line: u32) {
+        let mut prev = '0';
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => {
+                    prev = c;
+                    self.bump();
+                }
+                Some('.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    prev = '.';
+                    self.bump();
+                }
+                Some(s @ ('+' | '-'))
+                    if (prev == 'e' || prev == 'E')
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    prev = s;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.emit(Tok::Num, line);
+    }
+
+    /// Identifier — or the prefix of a raw string / byte string / raw
+    /// identifier, which all start with ident characters.
+    fn word(&mut self, line: u32) {
+        let mut w = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            w.push(self.bump().unwrap_or_default());
+        }
+        let stringish = w == "r" || w == "b" || w == "br";
+        match self.peek(0) {
+            Some('"') if stringish => {
+                if w == "b" {
+                    // Byte string: cooked rules (escapes).
+                    self.cooked_string(line);
+                } else {
+                    self.raw_string(0, line);
+                }
+            }
+            Some('\'') if w == "b" => {
+                // Byte char literal b'x'.
+                self.quote(line);
+            }
+            Some('#') if stringish && w != "b" => {
+                let mut hashes = 1;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes, line);
+                } else if w == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                    // Raw identifier r#match: emit the bare name.
+                    self.bump(); // #
+                    let mut name = String::new();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        name.push(self.bump().unwrap_or_default());
+                    }
+                    self.emit(Tok::Ident(name), line);
+                } else {
+                    self.emit(Tok::Ident(w), line);
+                }
+            }
+            _ => self.emit(Tok::Ident(w), line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // Nothing inside any string form may leak as an identifier.
+        let src = r####"let a = "fn bad1 {"; let b = r#"fn bad2 {"#; let c = b"fn bad3"; let d = br##"fn bad4 "# "##; done();"####;
+        let ids = idents(src);
+        assert!(ids.iter().all(|i| !i.starts_with("bad")), "{ids:?}");
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ids = idents("before /* x /* y */ z */ after");
+        assert_eq!(ids, ["before", "after"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("'a' 'x: &'static str = 'b'");
+        let kinds: Vec<_> = toks
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Char => "char",
+                Tok::Lifetime(_) => "life",
+                Tok::Ident(_) => "id",
+                _ => ".",
+            })
+            .collect();
+        assert_eq!(kinds[0], "char");
+        assert!(kinds.contains(&"life"));
+        assert_eq!(*kinds.last().expect("nonempty"), "char");
+    }
+
+    #[test]
+    fn raw_ident_lexes_bare() {
+        let ids = idents("let r#match = r#fn; use r#type;");
+        assert_eq!(ids, ["let", "match", "fn", "use", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { f(1.5e-3, 0x1F, 1_000u64) }");
+        let dots = toks.iter().filter(|t| t.tok.is_punct('.')).count();
+        assert_eq!(dots, 2, "range dots survive: {toks:?}");
+        let nums = toks.iter().filter(|t| t.tok == Tok::Num).count();
+        assert_eq!(nums, 5);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* c1\nc2 */\nb\n\"s1\ns2\"\nc";
+        let toks = lex(src);
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok.is_ident(name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 7);
+    }
+}

@@ -1,0 +1,194 @@
+//! Totality analyzer.
+//!
+//! PRs 3–4 purged the event-path panics: a stale, duplicated or forged
+//! completion must *drop with a typed error and a stat counter*, never
+//! abort the simulation. This pass keeps that property machine-checked:
+//! inside event-handler and completion functions — names `handle`,
+//! `handle_*`, `submit`, `submit_*`, `complete*`, `on_*` — of the four
+//! stack crates (`flash`, `block`, `fs`, `core`), it forbids:
+//!
+//! * `.unwrap()` / `.expect(…)` (`unwrap_or*` stays legal — it is total),
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//!   (`assert!`/`debug_assert!` stay legal: they express *checked*
+//!   invariants and compile out of release in the debug_assert case),
+//! * direct indexing (`xs[i]`, `f(x)[i]`) — a handler must use
+//!   `get`/`get_mut` and drop on miss, because an out-of-range id is
+//!   exactly what a forged completion looks like.
+
+use crate::files::{FileKind, SourceFile};
+use crate::lexer::Tok;
+use crate::report::Finding;
+
+/// Function names with event-handler/completion contracts.
+pub fn handler_name(name: &str) -> bool {
+    name == "handle"
+        || name.starts_with("handle_")
+        || name == "submit"
+        || name.starts_with("submit_")
+        || name.starts_with("complete")
+        || name.starts_with("on_")
+}
+
+/// Keywords that legitimately precede `[` (slice patterns, array
+/// expressions) — an `Ident` receiver is only an indexing site when it is
+/// not one of these.
+const NON_RECEIVER_KEYWORDS: [&str; 14] = [
+    "let", "in", "if", "while", "match", "return", "else", "mut", "ref", "move", "as", "break",
+    "dyn", "where",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn run(file: &SourceFile) -> Vec<Finding> {
+    if !file.crate_key.stack() || file.kind != FileKind::Src {
+        return Vec::new();
+    }
+    let toks = &file.scan.toks;
+    let mut out = Vec::new();
+    for f in file.scan.fns.iter().filter(|f| !f.is_test) {
+        if !handler_name(&f.name) || file.scan.in_test(f.body.0) {
+            continue;
+        }
+        let (b0, b1) = f.body;
+        let mut finding = |idx: usize, snippet: String, message: &str| {
+            out.push(Finding {
+                analyzer: "totality",
+                path: file.rel.clone(),
+                line: toks[idx].line,
+                symbol: format!("{}::{}", file.crate_key.name(), f.qual),
+                snippet,
+                message: message.to_string(),
+            });
+        };
+        for i in b0..=b1 {
+            match &toks[i].tok {
+                Tok::Punct('.') => {
+                    if let Some(Tok::Ident(m)) = toks.get(i + 1).map(|t| &t.tok) {
+                        if (m == "unwrap" || m == "expect")
+                            && toks.get(i + 2).is_some_and(|t| t.tok.is_punct('('))
+                        {
+                            finding(
+                                i + 1,
+                                format!(".{m}(…)"),
+                                "panics in an event handler; drop with a typed error and a stat counter instead",
+                            );
+                        }
+                    }
+                }
+                Tok::Ident(m)
+                    if PANIC_MACROS.contains(&m.as_str())
+                        && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('!')) =>
+                {
+                    finding(
+                        i,
+                        format!("{m}!(…)"),
+                        "aborts in an event handler; handlers must be total — return a typed error",
+                    );
+                }
+                Tok::Punct('[') if i > b0 => {
+                    let receiver = match &toks[i - 1].tok {
+                        Tok::Ident(w) if !NON_RECEIVER_KEYWORDS.contains(&w.as_str()) => {
+                            Some(format!("{w}[…]"))
+                        }
+                        Tok::Punct(')') => Some("(…)[…]".to_string()),
+                        Tok::Punct(']') => Some("…][…]".to_string()),
+                        _ => None,
+                    };
+                    if let Some(snippet) = receiver {
+                        finding(
+                            i,
+                            snippet,
+                            "direct indexing in an event handler; a forged id must read as absent — use get/get_mut and drop on miss",
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::CrateKey;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        run(&SourceFile::new(
+            CrateKey::Block,
+            FileKind::Src,
+            "crates/block/src/x.rs",
+            src,
+        ))
+    }
+
+    #[test]
+    fn unwrap_expect_and_panics_in_handlers() {
+        let src = r#"
+            struct L { v: Vec<u8> }
+            impl L {
+                fn on_done(&mut self, i: usize) {
+                    let x = self.v.get(i).unwrap();
+                    let y = self.v.get(i).expect("present");
+                    if *x != *y { panic!("mismatch"); }
+                    match i { 0 => {}, _ => unreachable!() }
+                }
+            }
+        "#;
+        let f = run_on(src);
+        let snippets: Vec<_> = f.iter().map(|x| x.snippet.as_str()).collect();
+        assert_eq!(
+            snippets,
+            [".unwrap(…)", ".expect(…)", "panic!(…)", "unreachable!(…)"]
+        );
+        assert!(f.iter().all(|x| x.symbol == "block::L::on_done"));
+    }
+
+    #[test]
+    fn indexing_flags_but_patterns_and_macros_do_not() {
+        let src = r#"
+            fn handle(v: &mut Vec<u64>, i: usize) -> u64 {
+                let [a, b] = [1u64, 2];
+                let w = vec![a, b];
+                #[allow(unused)]
+                let arr: [u64; 2] = [0; 2];
+                v[i] + w.len() as u64
+            }
+        "#;
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].snippet, "v[…]");
+    }
+
+    #[test]
+    fn unwrap_or_is_total_and_allowed() {
+        let src = r#"
+            fn on_step(x: Option<u64>) -> u64 {
+                x.unwrap_or(0) + x.unwrap_or_default() + x.unwrap_or_else(|| 1)
+            }
+        "#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn non_handler_fns_and_asserts_are_exempt() {
+        let src = r#"
+            fn rebuild(v: &Vec<u64>) -> u64 { v[0] }
+            fn on_tick(v: &Vec<u64>) { debug_assert!(!v.is_empty()); assert!(v.len() < 10); }
+        "#;
+        assert!(run_on(src).is_empty());
+    }
+
+    #[test]
+    fn only_stack_crates_in_scope() {
+        let src = "fn on_x(v: &Vec<u8>) -> u8 { v[0] }";
+        let sim = run(&SourceFile::new(
+            CrateKey::Sim,
+            FileKind::Src,
+            "crates/sim/src/x.rs",
+            src,
+        ));
+        assert!(sim.is_empty());
+    }
+}

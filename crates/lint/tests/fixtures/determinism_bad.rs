@@ -1,0 +1,75 @@
+//! Seeded determinism violations. Scanned as `crates/fs/src/` text by
+//! `fixtures_test.rs` — never compiled into the workspace.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Cache {
+    pages: HashMap<u64, u32>,
+    hot: HashSet<u64>,
+    names: Vec<String>,
+}
+
+pub enum Table {
+    Dense(Vec<u32>),
+    Sparse(HashMap<u64, u32>),
+}
+
+impl Cache {
+    // VIOLATION: hash-field iteration.
+    pub fn checksum(&self) -> u64 {
+        self.pages.iter().map(|(k, v)| k ^ u64::from(*v)).sum()
+    }
+
+    // VIOLATION: `for … in &set`.
+    pub fn spill(&self) -> usize {
+        let mut n = 0;
+        for h in &self.hot {
+            n += *h as usize;
+        }
+        n
+    }
+
+    // Legal: keyed lookups and a Vec iteration.
+    pub fn fine(&self) -> usize {
+        let _ = self.pages.get(&1);
+        let _ = self.hot.contains(&2);
+        self.names.iter().count()
+    }
+}
+
+impl Table {
+    // VIOLATION: iterating the hash-payload variant's binding.
+    pub fn total(&self) -> u64 {
+        match self {
+            Table::Dense(v) => v.iter().map(|x| u64::from(*x)).sum(),
+            Table::Sparse(m) => m.values().map(|x| u64::from(*x)).sum(),
+        }
+    }
+}
+
+// VIOLATION: local HashMap drained in declaration order.
+pub fn drain_local() -> usize {
+    let mut scratch: HashMap<u64, u64> = HashMap::new();
+    scratch.insert(1, 2);
+    scratch.drain().count()
+}
+
+// VIOLATIONS: wall clock, host threads, OS entropy, hash-order iterator type.
+pub fn ambient() {
+    let _t = std::time::Instant::now();
+    std::thread::yield_now();
+    let _r = thread_rng();
+    let _it: std::collections::hash_map::Iter<u64, u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Exempt: test code may iterate hash maps.
+    #[test]
+    fn order_insensitive_probe() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        assert_eq!(m.iter().count(), 0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded layering violations. Scanned as `crates/workloads/src/` text by
+//! `fixtures_test.rs` — never compiled into the workspace.
+//!
+//! `bio-workloads` may depend on `bio-sim` and `barrier-io` only; every
+//! reference below the facade is a DAG violation.
+
+// Legal edges.
+use bio_sim::SimTime;
+use barrier_io::stack::IoStack;
+
+// VIOLATION: workloads reaching under the facade into the filesystem.
+use bio_fs::journal::Journal;
+
+// VIOLATION: bare use of a forbidden crate.
+use bio_flash;
+
+pub fn probe(now: SimTime, stack: &IoStack) -> u64 {
+    // VIOLATION: inline path into a forbidden crate.
+    let lba = bio_block::Lba(7);
+    let _ = (now, stack, lba);
+    0
+}

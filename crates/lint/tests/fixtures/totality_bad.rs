@@ -1,0 +1,38 @@
+//! Seeded totality violations. Scanned as `crates/block/src/` text by
+//! `fixtures_test.rs` — never compiled into the workspace.
+
+pub struct Lane {
+    slots: Vec<u64>,
+}
+
+impl Lane {
+    // VIOLATIONS: unwrap, expect, panic!, unreachable!, direct indexing —
+    // all inside a `handle_*` event handler.
+    pub fn handle_completion(&mut self, i: usize) -> u64 {
+        let a = self.slots.get(i).unwrap();
+        let b = self.slots.get(i).expect("slot present");
+        if a != b {
+            panic!("slot mismatch");
+        }
+        match i {
+            0 => self.slots[i],
+            _ => unreachable!(),
+        }
+    }
+
+    // VIOLATION: indexing in a submit path.
+    pub fn submit(&mut self, i: usize) -> u64 {
+        self.slots[i]
+    }
+
+    // Legal: total alternatives inside a handler.
+    pub fn on_retry(&mut self, i: usize) -> u64 {
+        debug_assert!(i < 1024);
+        self.slots.get(i).copied().unwrap_or(0)
+    }
+
+    // Legal: not a handler name — construction code may index.
+    pub fn rebuild(&mut self, i: usize) -> u64 {
+        self.slots[i]
+    }
+}
