@@ -85,7 +85,17 @@ fn main() {
     // enumeration. Non-zero exit on cross-stack divergence so CI can gate.
     let mut divergent = false;
     if crash_enum {
+        let t0 = std::time::Instant::now();
         let report = bio_bench::crash::run(crash_seeds);
+        let secs = t0.elapsed().as_secs_f64();
+        // Throughput goes to stderr: stdout stays byte-identical between
+        // capture modes (BIO_FORK_CAPTURE) and machines.
+        eprintln!(
+            "[crash-enum] points={} elapsed_s={:.2} points_per_s={:.0}",
+            report.total_points,
+            secs,
+            report.total_points as f64 / secs.max(f64::MIN_POSITIVE),
+        );
         divergent = !report.divergences.is_empty();
     }
     eprintln!(

@@ -2,11 +2,11 @@
 //!
 //! The legacy ablation ([`crate::experiments::ablation_crash`]) samples one
 //! random wall-clock crash per seed and replays the whole trace from t=0 for
-//! every sample. This module is the fork-based replacement: each trace runs
-//! **once**, the whole stack is forked ([`barrier_io::IoStack::fork`]) at
-//! every barrier-epoch boundary (journal commit), and for every fork point
-//! the enumerator walks *all* persisted images the device's barrier mode
-//! admits for the in-flight flash programs:
+//! every sample. This module explores the crash space exhaustively: each
+//! trace runs **once**, the live stack is captured at every barrier-epoch
+//! boundary (journal commit), and for every capture point the enumerator
+//! walks *all* persisted images the device's barrier mode admits for the
+//! in-flight flash programs:
 //!
 //! * [`BarrierMode::LfsInOrderRecovery`] — firmware recovery truncates at
 //!   the first unprogrammed page (§3.2), so the admissible images are the
@@ -17,101 +17,331 @@
 //!   all-or-nothing: one bit per open group.
 //! * PLP (supercap) devices yield a single image: everything survives.
 //!
-//! Subset/group spaces are clamped to [`MAX_FREE_BITS`] free choices per
-//! device and [`MAX_IMAGES_PER_POINT`] images per fork point; clamping is
-//! counted and reported, never silent. Images that collapse to identical
-//! surviving block versions are deduplicated before checking.
+//! # Capture architecture: zero-clone + delta snapshots
+//!
+//! The first generation of this engine called [`IoStack::fork`] at every
+//! commit — a deep clone of the calendar queue, journal, lanes and device
+//! models — only to flatten the fork into a plain-data [`CrashPoint`] and
+//! drop it. Capture is now two-tier:
+//!
+//! 1. **Zero-clone capture** — [`extract_point`] reads the live stack
+//!    through borrowed accessors (`&AppendLog` tail, cache snapshot,
+//!    committed groups, txn records); nothing outside the point itself is
+//!    cloned.
+//! 2. **Delta snapshots** — a [`CaptureCursor`] holds the previous point's
+//!    `Arc`-backed base image, committed-group set and record history;
+//!    the stack journals its per-epoch dirty sets (blocks folded, groups
+//!    committed, records marked durable) and the next point is built from
+//!    the previous one plus that delta — O(writes-this-epoch), not
+//!    O(log length). The shared parts are immutable behind `Arc`;
+//!    copy-on-write (`Arc::make_mut`) keeps retained points intact.
+//!
+//! The fork-based path stays alive behind `BIO_FORK_CAPTURE=1` (or
+//! [`CaptureMode::Fork`]) as a differential reference: both paths must
+//! produce bit-identical [`CrashPoint`]s, verdicts and dedup counts.
+//!
+//! Subset/group spaces are enumerated exhaustively up to [`MAX_FREE_BITS`]
+//! free choices per device and [`MAX_IMAGES_PER_POINT`] images per capture
+//! point; clamping is counted, never silent, and clamped points are
+//! additionally covered by **stratified sampling**: seeded strata over
+//! subset cardinality draw reorderings from the *full* free list (up to 64
+//! bits), with sampled-vs-exhaustive coverage reported in [`CrashStats`].
 //!
 //! **Differential recovery**: the same op trace runs against EXT4-DR,
-//! BFS-DR and BFS-OD; fork points align across stacks by commit count.
-//! Every enumerated image must recover to a clean transaction prefix (no
-//! commit-order / torn-transaction / ordered-data / durability-loss
-//! violation and no epoch-order violation). A stack that violates where a
-//! peer stays clean at the same aligned point is a cross-stack divergence,
-//! reported as a minimized `(trace seed, fork point, reordering choice)`
-//! triple.
+//! BFS-DR and BFS-OD, at the 1q×1dev topology and again at 2q×2dev;
+//! capture points align across stacks of the same topology by commit
+//! count. Every enumerated image must recover to a clean transaction
+//! prefix (no commit-order / torn-transaction / ordered-data /
+//! durability-loss violation and no epoch-order violation). A stack that
+//! violates where a peer stays clean at the same aligned point is a
+//! cross-stack divergence, reported as a minimized
+//! `(trace seed, capture point, reordering choice)` triple.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use barrier_io::{
-    check_crash_consistency, DeviceProfile, FileRef, IoStack, StackConfig, Topology, TxnRecord,
+    ConsistencyCheck, DeviceCaptureDelta, DeviceProfile, FileRef, IoStack, StackConfig, Topology,
+    TxnRecord,
 };
 use bio_flash::{
-    audit_epoch_order, AppendLog, AppendRec, BarrierMode, BlockTag, Lba, PersistedImage,
-    TransferRec,
+    AppendRec, BarrierMode, BlockTag, Device, EpochAudit, ImageView, Lba, TransferRec,
 };
-use bio_sim::SimDuration;
+use bio_sim::{SimDuration, SimRng};
 use bio_workloads::{RandWrite, SyncMode, WriteMode};
 
 use crate::{print_table, ExperimentGrid};
 
 /// Free nondeterministic program-completion bits enumerated per device
-/// (2^8 = 256 subsets before clamping kicks in).
+/// (2^8 = 256 subsets before the exhaustive window is clamped).
 pub const MAX_FREE_BITS: usize = 8;
 
-/// Hard cap on enumerated images per fork point (cross-device product).
+/// Hard cap on exhaustively enumerated images per capture point
+/// (cross-device product).
 pub const MAX_IMAGES_PER_POINT: u64 = 256;
 
+/// Reorderings drawn per cardinality stratum when a clamped point is
+/// covered by stratified sampling.
+pub const SAMPLES_PER_STRATUM: u64 = 4;
+
+/// Widest free list the sampler draws from (a reordering choice is a
+/// `u64` bitmask, so 64 bits — 8x the exhaustive window).
+const MAX_SAMPLE_BITS: usize = 64;
+
 /// Syncs per differential trace; each write+sync pair forces one journal
-/// commit, i.e. one fork point.
+/// commit, i.e. one capture point.
 const TRACE_OPS: u64 = 100;
 
 /// Steps without a new commit after which a trace is considered drained
-/// (guards against self-perpetuating timer events).
+/// (backstop behind the quiescence early-exit, which normally ends the
+/// trace as soon as the journal settles).
 const STALE_STEP_LIMIT: u64 = 200_000;
 
 // ---------------------------------------------------------------------
-// Fork-point snapshot (plain data, `Send`).
+// Capture-point snapshot (plain data, `Send`, structurally shared).
 // ---------------------------------------------------------------------
 
-/// Plain-data snapshot of one device at a fork point, extracted from a
-/// forked stack so it can shard across the grid's worker pool.
-#[derive(Debug, Clone)]
+/// Snapshot of one device at a capture point. The folded base image and
+/// the committed-group set are `Arc`-shared with the capture cursor (and
+/// through it with neighbouring points): only the unfolded tail, the
+/// cache and the scalars are per-point.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceState {
-    log: AppendLog,
+    /// Folded durable prefix of the append log (shared, immutable).
+    base: Arc<BTreeMap<Lba, BlockTag>>,
+    /// Unfolded tail records, in append order.
+    tail: Vec<AppendRec>,
     cache: Vec<(Lba, BlockTag)>,
     plp: bool,
     mode: BarrierMode,
-    committed: HashSet<u64>,
-    history: Option<Vec<TransferRec>>,
+    /// Committed transactional-writeback groups (shared, immutable).
+    committed: Arc<BTreeSet<u64>>,
+    /// Transfer history prefix at the capture (shared, immutable).
+    history: Option<Arc<Vec<TransferRec>>>,
 }
 
-/// Everything needed to enumerate and check one fork point: the ground
-/// truth transaction records plus per-device append-log state.
-#[derive(Debug, Clone)]
-pub struct CrashPoint {
-    /// Commit count at the fork (the cross-stack alignment key).
-    pub commit_idx: usize,
-    /// Ground-truth transaction records at the fork.
-    pub records: Vec<TxnRecord>,
-    devices: Vec<DeviceState>,
-    topology: Topology,
-}
-
-/// Snapshots a (freshly forked) stack into a plain-data crash point.
-pub fn extract_point(stack: &IoStack) -> CrashPoint {
-    let records = stack.fs().records().to_vec();
-    let devices = stack
-        .devices()
-        .iter()
-        .map(|d| DeviceState {
-            log: d.append_log().clone(),
-            cache: d
+impl DeviceState {
+    /// Captures one device through borrowed accessors. With a cursor the
+    /// shared parts are `Arc`-clones of the cursor's delta-maintained
+    /// copies (O(1)); without one they are materialized from the device
+    /// (O(state), the fork-path reference behaviour).
+    fn capture(dev: &Device, cursor: Option<&DeviceCursor>) -> DeviceState {
+        let log = dev.append_log();
+        DeviceState {
+            base: match cursor {
+                Some(c) => Arc::clone(&c.base),
+                None => Arc::new(log.base().clone()),
+            },
+            tail: log.tail().copied().collect(),
+            cache: dev
                 .cache()
                 .entries_in_order()
                 .map(|(_, e)| (e.lba, e.tag))
                 .collect(),
-            plp: d.profile().plp,
-            mode: d.profile().barrier_mode,
-            committed: d.committed_groups().collect(),
-            history: d.history().map(|h| h.to_vec()),
-        })
-        .collect();
-    CrashPoint {
-        commit_idx: records.len(),
-        records,
-        devices,
-        topology: stack.config().topology,
+            plp: dev.profile().plp,
+            mode: dev.profile().barrier_mode,
+            committed: match cursor {
+                Some(c) => Arc::clone(&c.committed),
+                None => Arc::new(dev.committed_groups().collect()),
+            },
+            history: match cursor {
+                Some(c) => c.history.clone(),
+                None => dev.history().map(|h| Arc::new(h.to_vec())),
+            },
+        }
+    }
+}
+
+/// Everything needed to enumerate and check one capture point: the ground
+/// truth transaction records plus per-device append-log state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashPoint {
+    /// Commit count at the capture (the cross-stack alignment key).
+    pub commit_idx: usize,
+    /// Ground-truth transaction records at the capture (shared with the
+    /// cursor; copy-on-write across durability flips).
+    pub records: Arc<Vec<TxnRecord>>,
+    devices: Vec<DeviceState>,
+    topology: Topology,
+}
+
+impl CrashPoint {
+    /// Captures the live stack into a plain-data crash point, reading
+    /// through borrowed accessors only. With a cursor the records and the
+    /// per-device shared parts are `Arc`-clones of the cursor's
+    /// delta-maintained state.
+    fn capture(stack: &IoStack, cursor: Option<&CaptureCursor>) -> CrashPoint {
+        let records = match cursor {
+            Some(c) => Arc::clone(&c.records),
+            None => Arc::new(stack.fs().records().to_vec()),
+        };
+        let devices = stack
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DeviceState::capture(d, cursor.map(|c| &c.devices[i])))
+            .collect();
+        CrashPoint {
+            commit_idx: records.len(),
+            records,
+            devices,
+            topology: stack.config().topology,
+        }
+    }
+}
+
+/// Snapshots a stack into a plain-data crash point through borrowed
+/// accessors — no fork, no shared state with any cursor.
+pub fn extract_point(stack: &IoStack) -> CrashPoint {
+    CrashPoint::capture(stack, None)
+}
+
+// ---------------------------------------------------------------------
+// Delta capture: the cursor that builds each point from the previous one.
+// ---------------------------------------------------------------------
+
+/// Per-device half of the capture cursor: `Arc`-backed copies of the
+/// folded base image, committed groups and transfer history, advanced by
+/// each epoch's [`DeviceCaptureDelta`] instead of being re-read.
+#[derive(Debug, Clone)]
+struct DeviceCursor {
+    base: Arc<BTreeMap<Lba, BlockTag>>,
+    committed: Arc<BTreeSet<u64>>,
+    history: Option<Arc<Vec<TransferRec>>>,
+}
+
+impl DeviceCursor {
+    fn new() -> DeviceCursor {
+        DeviceCursor {
+            base: Arc::new(BTreeMap::new()),
+            committed: Arc::new(BTreeSet::new()),
+            history: None,
+        }
+    }
+
+    /// Advances the cursor by one epoch's delta. `Arc::make_mut` keeps
+    /// this O(delta) when the previous point has been dropped (the
+    /// enumerate-and-drop hot path) and silently degrades to a
+    /// copy-on-write clone when it is retained.
+    fn delta_apply(&mut self, dev: &Device, delta: DeviceCaptureDelta) {
+        let mut base = std::mem::take(&mut self.base);
+        {
+            let map = Arc::make_mut(&mut base);
+            for (lba, tag) in delta.folds {
+                map.insert(lba, tag);
+            }
+        }
+        let mut committed = std::mem::take(&mut self.committed);
+        {
+            let set = Arc::make_mut(&mut committed);
+            for g in delta.committed_groups {
+                set.insert(g);
+            }
+        }
+        // History is append-only: copy just the new suffix.
+        let history = match dev.history() {
+            Some(live) => {
+                let mut arc = self.history.take().unwrap_or_default();
+                let h = Arc::make_mut(&mut arc);
+                h.extend_from_slice(&live[h.len()..]);
+                Some(arc)
+            }
+            None => None,
+        };
+        *self = DeviceCursor {
+            base,
+            committed,
+            history,
+        };
+        debug_assert!(
+            self.base.as_ref() == dev.append_log().base(),
+            "capture cursor base diverged from the live log — was \
+             capture tracking enabled before the run started?"
+        );
+        debug_assert_eq!(self.committed.len(), dev.committed_groups().count());
+    }
+}
+
+/// Incremental capture state across one trace: holds the previous point's
+/// shared (`Arc`-backed) parts and advances them by each epoch's delta,
+/// so a capture costs O(writes since the previous capture).
+#[derive(Debug, Clone)]
+pub struct CaptureCursor {
+    records: Arc<Vec<TxnRecord>>,
+    devices: Vec<DeviceCursor>,
+}
+
+impl CaptureCursor {
+    /// An empty cursor; the first capture initializes per-device state.
+    pub fn new() -> CaptureCursor {
+        CaptureCursor {
+            records: Arc::new(Vec::new()),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Drains the stack's capture delta and builds the next crash point
+    /// incrementally. Requires [`IoStack::enable_capture_tracking`] to
+    /// have been called before the run started.
+    pub fn capture(&mut self, stack: &mut IoStack) -> CrashPoint {
+        let delta = stack.take_capture_delta();
+        {
+            let recs = Arc::make_mut(&mut self.records);
+            let live = stack.fs().records();
+            recs.extend_from_slice(&live[recs.len()..]);
+            // Durability flips are the only in-place record mutation;
+            // records just copied from the live slice already carry them.
+            for id in &delta.records_marked_durable {
+                let i = recs
+                    .binary_search_by_key(id, |r| r.id)
+                    .expect("durable mark names a recorded txn");
+                recs[i].durability_claimed = true;
+            }
+            debug_assert_eq!(recs.len(), live.len());
+        }
+        if self.devices.is_empty() {
+            self.devices = stack
+                .devices()
+                .iter()
+                .map(|_| DeviceCursor::new())
+                .collect();
+        }
+        for ((cur, dev), d) in self
+            .devices
+            .iter_mut()
+            .zip(stack.devices())
+            .zip(delta.devices)
+        {
+            cur.delta_apply(dev, d);
+        }
+        CrashPoint::capture(stack, Some(self))
+    }
+}
+
+impl Default for CaptureCursor {
+    fn default() -> CaptureCursor {
+        CaptureCursor::new()
+    }
+}
+
+/// How crash points are captured from the running trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureMode {
+    /// Zero-clone capture with delta snapshots (the default).
+    Delta,
+    /// Deep-fork the whole stack at every commit (the first-generation
+    /// path, kept as a differential reference).
+    Fork,
+}
+
+impl CaptureMode {
+    /// `BIO_FORK_CAPTURE=1` selects the fork-based reference path.
+    pub fn from_env() -> CaptureMode {
+        if std::env::var("BIO_FORK_CAPTURE").is_ok_and(|v| v == "1") {
+            CaptureMode::Fork
+        } else {
+            CaptureMode::Delta
+        }
     }
 }
 
@@ -119,7 +349,7 @@ pub fn extract_point(stack: &IoStack) -> CrashPoint {
 // Admissible-image enumeration.
 // ---------------------------------------------------------------------
 
-/// The reordering choice space of one device at one fork point.
+/// The reordering choice space of one device at one capture point.
 #[derive(Debug, Clone)]
 enum ChoiceSpace {
     /// PLP: a single image, everything (including the cache) survives.
@@ -129,34 +359,128 @@ enum ChoiceSpace {
     /// `holes.len()` keeps the full tail.
     Prefix(Vec<usize>),
     /// Orderless / in-order writeback: free in-flight indices, one bit
-    /// each (bit set = that program retired before power loss).
+    /// each (bit set = that program retired before power loss). Holds the
+    /// full free list (up to [`MAX_SAMPLE_BITS`]); the exhaustive window
+    /// enumerates the first [`MAX_FREE_BITS`] bits, the sampler draws
+    /// from all of them.
     Subset(Vec<usize>),
     /// Transactional writeback: open (uncommitted) groups, one
-    /// all-or-nothing bit each.
+    /// all-or-nothing bit each (full list, like `Subset`).
     Groups(Vec<u64>),
 }
 
 impl ChoiceSpace {
-    fn n_choices(&self) -> u64 {
+    /// Choices enumerated exhaustively (the pre-sampling window).
+    fn exhaustive_choices(&self) -> u64 {
         match self {
             ChoiceSpace::Single => 1,
             ChoiceSpace::Prefix(holes) => holes.len() as u64 + 1,
-            ChoiceSpace::Subset(free) => 1u64 << free.len(),
-            ChoiceSpace::Groups(gs) => 1u64 << gs.len(),
+            ChoiceSpace::Subset(free) => 1u64 << free.len().min(MAX_FREE_BITS),
+            ChoiceSpace::Groups(gs) => 1u64 << gs.len().min(MAX_FREE_BITS),
+        }
+    }
+
+    /// Width of the full choice space, in sampling strata.
+    fn sample_bits(&self) -> usize {
+        match self {
+            ChoiceSpace::Single => 0,
+            ChoiceSpace::Prefix(holes) => holes.len(),
+            ChoiceSpace::Subset(free) => free.len(),
+            ChoiceSpace::Groups(gs) => gs.len(),
+        }
+    }
+
+    /// One stratified draw at cardinality stratum `k`: a choice whose
+    /// reordering keeps (about) `k` extra programs alive, drawn uniformly
+    /// from the full free list.
+    fn sample_choice(&self, k: usize, rng: &mut SimRng) -> u64 {
+        fn draw_mask(n: usize, k: usize, rng: &mut SimRng) -> u64 {
+            let k = k.min(n);
+            let mut idx: Vec<usize> = (0..n).collect();
+            let mut mask = 0u64;
+            for i in 0..k {
+                let j = i + rng.below((n - i) as u64) as usize;
+                idx.swap(i, j);
+                mask |= 1u64 << idx[i];
+            }
+            mask
+        }
+        match self {
+            ChoiceSpace::Single => 0,
+            ChoiceSpace::Prefix(holes) => k.min(holes.len()) as u64,
+            ChoiceSpace::Subset(free) => draw_mask(free.len(), k, rng),
+            ChoiceSpace::Groups(gs) => draw_mask(gs.len(), k, rng),
+        }
+    }
+}
+
+/// One admissible crash image as a copy-on-write overlay: the shared
+/// folded base plus the resolved survival of every tail (and, for PLP,
+/// cache) block. Covers the *same* block set for every choice of a
+/// point, so overlay equality is image equality and the overlay doubles
+/// as the dedup key — no base clone per image.
+struct OverlayView<'a> {
+    base: &'a BTreeMap<Lba, BlockTag>,
+    over: BTreeMap<Lba, BlockTag>,
+}
+
+impl ImageView for OverlayView<'_> {
+    fn tag(&self, lba: Lba) -> BlockTag {
+        match self.over.get(&lba) {
+            Some(&t) => t,
+            None => self.base.get(&lba).copied().unwrap_or(BlockTag::UNWRITTEN),
+        }
+    }
+}
+
+impl OverlayView<'_> {
+    /// Materializes the overlay into a standalone image (test oracle).
+    #[cfg(test)]
+    fn materialize(&self) -> bio_flash::PersistedImage {
+        let mut map = self.base.clone();
+        for (&lba, &tag) in &self.over {
+            if tag == BlockTag::UNWRITTEN {
+                map.remove(&lba);
+            } else {
+                map.insert(lba, tag);
+            }
+        }
+        bio_flash::PersistedImage::from_map(map)
+    }
+}
+
+/// The cross-device image of one choice combination: device-local views
+/// stitched by the lane topology (trivial at 1×1).
+enum StackImage<'a> {
+    Single(&'a OverlayView<'a>),
+    Striped {
+        topology: Topology,
+        locals: &'a [OverlayView<'a>],
+    },
+}
+
+impl ImageView for StackImage<'_> {
+    fn tag(&self, lba: Lba) -> BlockTag {
+        match self {
+            StackImage::Single(v) => v.tag(lba),
+            StackImage::Striped { topology, locals } => {
+                let (di, local) = topology.locate(lba);
+                locals[di].tag(local)
+            }
         }
     }
 }
 
 impl DeviceState {
     /// The admissible choice space under this device's barrier mode, plus
-    /// whether the space had to be clamped to [`MAX_FREE_BITS`].
+    /// whether exhaustive enumeration has to clamp it to [`MAX_FREE_BITS`].
     fn choice_space(&self) -> (ChoiceSpace, bool) {
         if self.plp {
             return (ChoiceSpace::Single, false);
         }
         let inflight: Vec<usize> = self
-            .log
-            .tail()
+            .tail
+            .iter()
             .enumerate()
             .filter(|(_, r)| !r.done)
             .map(|(i, _)| i)
@@ -166,12 +490,12 @@ impl DeviceState {
             BarrierMode::InOrderWriteback | BarrierMode::Unsupported => {
                 let clamped = inflight.len() > MAX_FREE_BITS;
                 let mut free = inflight;
-                free.truncate(MAX_FREE_BITS);
+                free.truncate(MAX_SAMPLE_BITS);
                 (ChoiceSpace::Subset(free), clamped)
             }
             BarrierMode::Transactional => {
                 let mut groups: Vec<u64> = Vec::new();
-                for r in self.log.tail() {
+                for r in &self.tail {
                     if let Some(g) = r.group {
                         if !self.committed.contains(&g) && !groups.contains(&g) {
                             groups.push(g);
@@ -179,107 +503,84 @@ impl DeviceState {
                     }
                 }
                 let clamped = groups.len() > MAX_FREE_BITS;
-                groups.truncate(MAX_FREE_BITS);
+                groups.truncate(MAX_SAMPLE_BITS);
                 (ChoiceSpace::Groups(groups), clamped)
             }
         }
     }
 
-    /// The persisted image for one choice. Choice 0 always reproduces the
+    /// The overlay for one choice. Choice 0 always reproduces the
     /// device's own deterministic [`bio_flash::Device::crash_image`].
-    fn image_for(&self, space: &ChoiceSpace, choice: u64) -> PersistedImage {
-        let tail: Vec<AppendRec> = self.log.tail().copied().collect();
+    fn view_for(&self, space: &ChoiceSpace, choice: u64) -> OverlayView<'_> {
+        let mut over: BTreeMap<Lba, BlockTag> = BTreeMap::new();
         match space {
             ChoiceSpace::Single => {
-                let mut img = self.log.image(|_| true, false);
-                img.overlay(self.cache.iter().copied());
-                img
+                for r in &self.tail {
+                    over.insert(r.lba, r.tag);
+                }
+                for &(lba, tag) in &self.cache {
+                    over.insert(lba, tag);
+                }
             }
             ChoiceSpace::Prefix(holes) => {
-                let cut = holes.get(choice as usize).copied().unwrap_or(tail.len());
-                let mask: Vec<bool> = (0..tail.len()).map(|i| i < cut).collect();
-                self.log.image_masked(&mask, true)
+                let cut = holes
+                    .get(choice as usize)
+                    .copied()
+                    .unwrap_or(self.tail.len());
+                for r in &self.tail[..cut] {
+                    over.insert(r.lba, r.tag);
+                }
             }
             ChoiceSpace::Subset(free) => {
-                let mut mask: Vec<bool> = tail.iter().map(|r| r.done).collect();
+                let mut mask: Vec<bool> = self.tail.iter().map(|r| r.done).collect();
                 for (bit, &idx) in free.iter().enumerate() {
-                    if choice & (1 << bit) != 0 {
+                    if choice & (1u64 << bit) != 0 {
                         mask[idx] = true;
                     }
                 }
-                self.log.image_masked(&mask, false)
-            }
-            ChoiceSpace::Groups(gs) => {
-                let survive: HashSet<u64> = gs
-                    .iter()
-                    .enumerate()
-                    .filter(|(bit, _)| choice & (1 << *bit) != 0)
-                    .map(|(_, &g)| g)
-                    .collect();
-                let committed = &self.committed;
-                self.log.image(
-                    |r| {
-                        r.done
-                            && r.group
-                                .is_none_or(|g| committed.contains(&g) || survive.contains(&g))
-                    },
-                    false,
-                )
-            }
-        }
-    }
-}
-
-/// Stripes per-device images into one global image (identity for 1×1).
-fn combine(p: &CrashPoint, locals: &[PersistedImage]) -> PersistedImage {
-    if p.topology.is_single() {
-        return locals[0].clone();
-    }
-    let mut map = BTreeMap::new();
-    for (di, img) in locals.iter().enumerate() {
-        for (local, tag) in img.iter() {
-            map.insert(p.topology.global(di, local), tag);
-        }
-    }
-    PersistedImage::from_map(map)
-}
-
-/// Runs both checkers over one choice combination: returns
-/// `(fs violations, epoch violations, first violation rendered)`.
-fn check_choice(p: &CrashPoint, spaces: &[ChoiceSpace], choices: &[u64]) -> (usize, usize, String) {
-    let locals: Vec<PersistedImage> = p
-        .devices
-        .iter()
-        .zip(spaces)
-        .zip(choices)
-        .map(|((d, s), &c)| d.image_for(s, c))
-        .collect();
-    let global = combine(p, &locals);
-    let fsv = check_crash_consistency(&p.records, &global);
-    let mut epv = 0usize;
-    let mut detail = String::new();
-    for (d, img) in p.devices.iter().zip(&locals) {
-        if let Some(h) = &d.history {
-            let v = audit_epoch_order(h, img);
-            if detail.is_empty() {
-                if let Some(first) = v.first() {
-                    detail = format!("{first:?}");
+                for (r, &keep) in self.tail.iter().zip(&mask) {
+                    if keep {
+                        over.insert(r.lba, r.tag);
+                    }
                 }
             }
-            epv += v.len();
+            ChoiceSpace::Groups(gs) => {
+                let survive: Vec<u64> = gs
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| choice & (1u64 << *bit) != 0)
+                    .map(|(_, &g)| g)
+                    .collect();
+                for r in &self.tail {
+                    let keep = r.done
+                        && r.group
+                            .is_none_or(|g| self.committed.contains(&g) || survive.contains(&g));
+                    if keep {
+                        over.insert(r.lba, r.tag);
+                    }
+                }
+            }
+        }
+        // Canonical cover: every tail block resolves, the masked-out ones
+        // to the base version (UNWRITTEN when the base never held them).
+        for r in &self.tail {
+            over.entry(r.lba).or_insert_with(|| {
+                self.base
+                    .get(&r.lba)
+                    .copied()
+                    .unwrap_or(BlockTag::UNWRITTEN)
+            });
+        }
+        OverlayView {
+            base: &self.base,
+            over,
         }
     }
-    if detail.is_empty() {
-        if let Some(first) = fsv.first() {
-            detail = format!("{first:?}");
-        }
-    }
-    (fsv.len(), epv, detail)
 }
 
 /// A violating reordering, minimized: per-device choice ids after greedy
 /// reduction toward the deterministic baseline (choice 0).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViolationCase {
     /// Per-device reordering choice (bitmask or hole index).
     pub choices: Vec<u64>,
@@ -291,64 +592,205 @@ pub struct ViolationCase {
     pub detail: String,
 }
 
-/// Greedily shrinks a violating choice combination: clears subset/group
-/// bits and lowers prefix cuts while the combination still violates.
-fn minimize(p: &CrashPoint, spaces: &[ChoiceSpace], mut choices: Vec<u64>) -> Vec<u64> {
-    let violates = |c: &[u64]| {
-        let (f, e, _) = check_choice(p, spaces, c);
-        f + e > 0
-    };
-    for _ in 0..4 {
-        let mut changed = false;
-        for (di, space) in spaces.iter().enumerate() {
-            match space {
-                ChoiceSpace::Single => {}
-                ChoiceSpace::Prefix(_) => {
-                    for c in 0..choices[di] {
-                        let mut t = choices.clone();
-                        t[di] = c;
-                        if violates(&t) {
-                            choices = t;
-                            changed = true;
-                            break;
-                        }
+/// Per-point enumeration context: the choice spaces plus both checkers
+/// with their record/history-only tables hoisted out of the image loop.
+struct PointCtx<'a> {
+    p: &'a CrashPoint,
+    spaces: &'a [ChoiceSpace],
+    checker: ConsistencyCheck<'a>,
+    audits: Vec<Option<EpochAudit<'a>>>,
+}
+
+impl<'a> PointCtx<'a> {
+    fn new(p: &'a CrashPoint, spaces: &'a [ChoiceSpace]) -> PointCtx<'a> {
+        PointCtx {
+            p,
+            spaces,
+            checker: ConsistencyCheck::new(&p.records),
+            audits: p
+                .devices
+                .iter()
+                .map(|d| d.history.as_deref().map(|h| EpochAudit::new(h)))
+                .collect(),
+        }
+    }
+
+    fn views(&self, choices: &[u64]) -> Vec<OverlayView<'a>> {
+        self.p
+            .devices
+            .iter()
+            .zip(self.spaces)
+            .zip(choices)
+            .map(|((d, s), &c)| d.view_for(s, c))
+            .collect()
+    }
+
+    fn global<'v>(&self, views: &'v [OverlayView<'a>]) -> StackImage<'v> {
+        if self.p.topology.is_single() {
+            StackImage::Single(&views[0])
+        } else {
+            StackImage::Striped {
+                topology: self.p.topology,
+                locals: views,
+            }
+        }
+    }
+
+    /// Violation counts of one choice combination.
+    fn counts(&self, views: &[OverlayView<'a>]) -> (usize, usize) {
+        let fsv = self.checker.violations(&self.global(views)).len();
+        let mut epv = 0usize;
+        for (audit, v) in self.audits.iter().zip(views) {
+            if let Some(a) = audit {
+                epv += a.violations(v).len();
+            }
+        }
+        (fsv, epv)
+    }
+
+    /// Runs both checkers over one choice combination: returns
+    /// `(fs violations, epoch violations, first violation rendered)`.
+    fn check_choice(&self, choices: &[u64]) -> (usize, usize, String) {
+        let views = self.views(choices);
+        let fsv = self.checker.violations(&self.global(&views));
+        let mut epv = 0usize;
+        let mut detail = String::new();
+        for (audit, v) in self.audits.iter().zip(&views) {
+            if let Some(a) = audit {
+                let viols = a.violations(v);
+                if detail.is_empty() {
+                    if let Some(first) = viols.first() {
+                        detail = format!("{first:?}");
                     }
                 }
-                ChoiceSpace::Subset(_) | ChoiceSpace::Groups(_) => {
-                    let bits = match space {
-                        ChoiceSpace::Subset(free) => free.len(),
-                        ChoiceSpace::Groups(gs) => gs.len(),
-                        _ => unreachable!(),
-                    };
-                    for bit in 0..bits {
-                        if choices[di] & (1 << bit) != 0 {
+                epv += viols.len();
+            }
+        }
+        if detail.is_empty() {
+            if let Some(first) = fsv.first() {
+                detail = format!("{first:?}");
+            }
+        }
+        (fsv.len(), epv, detail)
+    }
+
+    /// Greedily shrinks a violating choice combination: clears
+    /// subset/group bits and lowers prefix cuts while the combination
+    /// still violates.
+    fn minimize(&self, mut choices: Vec<u64>) -> Vec<u64> {
+        let violates = |c: &[u64]| {
+            let (f, e, _) = self.check_choice(c);
+            f + e > 0
+        };
+        for _ in 0..4 {
+            let mut changed = false;
+            for (di, space) in self.spaces.iter().enumerate() {
+                match space {
+                    ChoiceSpace::Single => {}
+                    ChoiceSpace::Prefix(_) => {
+                        for c in 0..choices[di] {
                             let mut t = choices.clone();
-                            t[di] &= !(1u64 << bit);
+                            t[di] = c;
                             if violates(&t) {
                                 choices = t;
                                 changed = true;
+                                break;
+                            }
+                        }
+                    }
+                    ChoiceSpace::Subset(free) => {
+                        for bit in 0..free.len() {
+                            if choices[di] & (1u64 << bit) != 0 {
+                                let mut t = choices.clone();
+                                t[di] &= !(1u64 << bit);
+                                if violates(&t) {
+                                    choices = t;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                    ChoiceSpace::Groups(gs) => {
+                        for bit in 0..gs.len() {
+                            if choices[di] & (1u64 << bit) != 0 {
+                                let mut t = choices.clone();
+                                t[di] &= !(1u64 << bit);
+                                if violates(&t) {
+                                    choices = t;
+                                    changed = true;
+                                }
                             }
                         }
                     }
                 }
             }
+            if !changed {
+                break;
+            }
         }
-        if !changed {
-            break;
+        choices
+    }
+
+    /// Dedups, checks and records one choice combination.
+    fn visit(
+        &self,
+        choices: &[u64],
+        seen: &mut HashSet<Vec<(u64, u64)>>,
+        out: &mut PointOutcome,
+        sampled: bool,
+    ) {
+        let views = self.views(choices);
+        // The overlays cover the same block set for every choice of this
+        // point and the base is shared, so the resolved overlays are a
+        // complete image-equality key.
+        let mut key: Vec<(u64, u64)> = Vec::new();
+        for (di, v) in views.iter().enumerate() {
+            for (&lba, &tag) in &v.over {
+                key.push((self.p.topology.global(di, lba).0, tag.0));
+            }
+        }
+        if !seen.insert(key) {
+            if sampled {
+                out.sampled_duplicates += 1;
+            } else {
+                out.duplicates += 1;
+            }
+            return;
+        }
+        if sampled {
+            out.sampled_images += 1;
+        } else {
+            out.images += 1;
+        }
+        let (fsv, epv) = self.counts(&views);
+        out.fs_violations += fsv as u64;
+        out.epoch_violations += epv as u64;
+        if (fsv > 0 || epv > 0) && out.worst.is_none() {
+            let min = self.minimize(choices.to_vec());
+            let (f, e, detail) = self.check_choice(&min);
+            out.worst = Some(ViolationCase {
+                choices: min,
+                fs_violations: f,
+                epoch_violations: e,
+                detail,
+            });
         }
     }
-    choices
 }
 
-/// Outcome of enumerating one fork point.
-#[derive(Debug, Clone)]
+/// Outcome of enumerating one capture point.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PointOutcome {
-    /// Commit count at the fork (alignment key).
+    /// Commit count at the capture (alignment key).
     pub commit_idx: usize,
-    /// Distinct images checked (crash points explored).
+    /// Distinct images checked exhaustively (crash points explored).
     pub images: u64,
-    /// Equivalent images skipped by dedup.
+    /// Equivalent images skipped by dedup in the exhaustive window.
     pub duplicates: u64,
+    /// Distinct images found only by stratified sampling.
+    pub sampled_images: u64,
+    /// Sampled draws that collapsed onto an already-checked image.
+    pub sampled_duplicates: u64,
     /// True when the choice space was clamped (bit budget or image cap).
     pub clamped: bool,
     /// Total filesystem violations over all distinct images.
@@ -359,9 +801,14 @@ pub struct PointOutcome {
     pub worst: Option<ViolationCase>,
 }
 
-/// Enumerates every admissible image at one fork point, deduplicates, and
-/// checks each against the journal ground truth and the epoch contract.
-pub fn enumerate_point(p: &CrashPoint) -> PointOutcome {
+/// Enumerates every admissible image at one capture point (exhaustively
+/// up to the clamps, then by seeded stratified sampling over the full
+/// choice space when clamped), deduplicates, and checks each image
+/// against the journal ground truth and the epoch contract.
+///
+/// `sample_seed` seeds the sampling draws only; the exhaustive window is
+/// deterministic and unaffected.
+pub fn enumerate_point(p: &CrashPoint, sample_seed: u64) -> PointOutcome {
     let mut spaces = Vec::with_capacity(p.devices.len());
     let mut clamped = false;
     for d in &p.devices {
@@ -369,66 +816,37 @@ pub fn enumerate_point(p: &CrashPoint) -> PointOutcome {
         clamped |= c;
         spaces.push(s);
     }
-    let counts: Vec<u64> = spaces.iter().map(|s| s.n_choices()).collect();
+    let counts: Vec<u64> = spaces.iter().map(ChoiceSpace::exhaustive_choices).collect();
     let product: u128 = counts.iter().map(|&c| c as u128).product();
     clamped |= product > MAX_IMAGES_PER_POINT as u128;
 
+    let ctx = PointCtx::new(p, &spaces);
     let mut out = PointOutcome {
         commit_idx: p.commit_idx,
         images: 0,
         duplicates: 0,
+        sampled_images: 0,
+        sampled_duplicates: 0,
         clamped,
         fs_violations: 0,
         epoch_violations: 0,
         worst: None,
     };
     let mut seen: HashSet<Vec<(u64, u64)>> = HashSet::new();
+
+    // Exhaustive window: odometer over the per-device choice counts.
     let mut choices = vec![0u64; spaces.len()];
     let mut visited = 0u64;
-    loop {
+    'exhaustive: loop {
         visited += 1;
-        let locals: Vec<PersistedImage> = p
-            .devices
-            .iter()
-            .zip(&spaces)
-            .zip(&choices)
-            .map(|((d, s), &c)| d.image_for(s, c))
-            .collect();
-        let global = combine(p, &locals);
-        let mut key: Vec<(u64, u64)> = global.iter().map(|(l, t)| (l.0, t.0)).collect();
-        key.sort_unstable();
-        if seen.insert(key) {
-            out.images += 1;
-            let fsv = check_crash_consistency(&p.records, &global);
-            let mut epv = 0usize;
-            for (d, img) in p.devices.iter().zip(&locals) {
-                if let Some(h) = &d.history {
-                    epv += audit_epoch_order(h, img).len();
-                }
-            }
-            out.fs_violations += fsv.len() as u64;
-            out.epoch_violations += epv as u64;
-            if (!fsv.is_empty() || epv > 0) && out.worst.is_none() {
-                let min = minimize(p, &spaces, choices.clone());
-                let (f, e, detail) = check_choice(p, &spaces, &min);
-                out.worst = Some(ViolationCase {
-                    choices: min,
-                    fs_violations: f,
-                    epoch_violations: e,
-                    detail,
-                });
-            }
-        } else {
-            out.duplicates += 1;
-        }
+        ctx.visit(&choices, &mut seen, &mut out, false);
         if visited >= MAX_IMAGES_PER_POINT {
             break;
         }
-        // Odometer over the per-device choice counts.
         let mut di = 0;
         loop {
             if di == choices.len() {
-                return out;
+                break 'exhaustive;
             }
             choices[di] += 1;
             if choices[di] < counts[di] {
@@ -438,17 +856,38 @@ pub fn enumerate_point(p: &CrashPoint) -> PointOutcome {
             di += 1;
         }
     }
+
+    // Stratified sampling past the clamp: for each survival-cardinality
+    // stratum, draw reorderings from the *full* free lists. Shares the
+    // dedup set, so only genuinely new images are counted and checked.
+    if clamped {
+        let max_k = spaces
+            .iter()
+            .map(ChoiceSpace::sample_bits)
+            .max()
+            .unwrap_or(0);
+        let mut rng = SimRng::new(sample_seed);
+        for k in 0..=max_k {
+            for _ in 0..SAMPLES_PER_STRATUM {
+                let draws: Vec<u64> = spaces
+                    .iter()
+                    .map(|s| s.sample_choice(k, &mut rng))
+                    .collect();
+                ctx.visit(&draws, &mut seen, &mut out, true);
+            }
+        }
+    }
     out
 }
 
 // ---------------------------------------------------------------------
-// Trace driving: fork at every commit boundary.
+// Trace driving: capture at every commit boundary.
 // ---------------------------------------------------------------------
 
 /// Result of one (stack, trace) cell.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
-    /// Fork-point outcomes in commit order.
+    /// Capture-point outcomes in commit order.
     pub points: Vec<PointOutcome>,
 }
 
@@ -468,11 +907,21 @@ fn trace_stack(mut cfg: StackConfig, sync: SyncMode, seed: u64) -> IoStack {
     stack
 }
 
-/// Runs one trace to completion, forking the stack at every journal
-/// commit and enumerating the fork point's admissible crash images.
-pub fn enumerate_trace(cfg: StackConfig, sync: SyncMode, seed: u64) -> CellOutcome {
+/// Runs one trace, calling `on_point` with the crash point captured at
+/// every journal commit. Ends at journal quiescence once all workloads
+/// finished (with [`STALE_STEP_LIMIT`] as a backstop).
+fn drive<F: FnMut(CrashPoint)>(
+    cfg: StackConfig,
+    sync: SyncMode,
+    seed: u64,
+    mode: CaptureMode,
+    mut on_point: F,
+) {
     let mut stack = trace_stack(cfg, sync, seed);
-    let mut points = Vec::new();
+    if mode == CaptureMode::Delta {
+        stack.enable_capture_tracking();
+    }
+    let mut cursor = CaptureCursor::new();
     let mut commits = 0usize;
     let mut stale = 0u64;
     while stack.step() {
@@ -480,18 +929,70 @@ pub fn enumerate_trace(cfg: StackConfig, sync: SyncMode, seed: u64) -> CellOutco
         if n > commits {
             commits = n;
             stale = 0;
-            // The tentpole in one line: snapshot the whole stack at the
-            // epoch boundary instead of replaying from t=0.
-            let snap = stack.fork();
-            points.push(enumerate_point(&extract_point(&snap)));
+            let point = match mode {
+                CaptureMode::Delta => cursor.capture(&mut stack),
+                CaptureMode::Fork => {
+                    let snap = stack.fork();
+                    extract_point(&snap)
+                }
+            };
+            on_point(point);
         } else {
             stale += 1;
             if stale > STALE_STEP_LIMIT {
                 break;
             }
+            // Early exit: once every workload finished and the journal is
+            // provably quiescent no further commit can occur, so the
+            // remaining event tail (timer self-rearming) is pure waste.
+            if stack.workloads_finished() && stack.fs().journal_quiescent() {
+                break;
+            }
         }
     }
+}
+
+/// Captures (without enumerating) every crash point of one trace — the
+/// differential-testing surface for [`CaptureMode::Delta`] vs
+/// [`CaptureMode::Fork`] bit-identity.
+pub fn capture_points(
+    cfg: StackConfig,
+    sync: SyncMode,
+    seed: u64,
+    mode: CaptureMode,
+) -> Vec<CrashPoint> {
+    let mut points = Vec::new();
+    drive(cfg, sync, seed, mode, |p| points.push(p));
+    points
+}
+
+/// Runs one trace to completion, capturing the stack at every journal
+/// commit and enumerating the capture point's admissible crash images.
+pub fn enumerate_trace_with(
+    cfg: StackConfig,
+    sync: SyncMode,
+    seed: u64,
+    mode: CaptureMode,
+) -> CellOutcome {
+    let mut points = Vec::new();
+    drive(cfg, sync, seed, mode, |p| {
+        points.push(enumerate_point(&p, sample_seed(seed, p.commit_idx)));
+    });
     CellOutcome { points }
+}
+
+/// [`enumerate_trace_with`] under the environment-selected capture mode
+/// (`BIO_FORK_CAPTURE=1` for the fork-based reference path).
+pub fn enumerate_trace(cfg: StackConfig, sync: SyncMode, seed: u64) -> CellOutcome {
+    enumerate_trace_with(cfg, sync, seed, CaptureMode::from_env())
+}
+
+/// Deterministic per-point sampling seed: same trace seed and commit
+/// index → same sampled draws, in both capture modes.
+fn sample_seed(trace_seed: u64, commit_idx: usize) -> u64 {
+    trace_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(commit_idx as u64)
 }
 
 /// Legacy single-sample crash cell (the ablation table's unit of work):
@@ -512,23 +1013,27 @@ pub fn sampled_crash_violations(mut cfg: StackConfig, sync: SyncMode, dur: SimDu
 }
 
 // ---------------------------------------------------------------------
-// Differential harness across EXT4-DR / BFS-DR / BFS-OD.
+// Differential harness across EXT4-DR / BFS-DR / BFS-OD, 1×1 and 2×2.
 // ---------------------------------------------------------------------
 
 /// Per-stack aggregate over all traces.
 #[derive(Debug, Clone)]
 pub struct StackRow {
-    /// Stack label (`EXT4-DR`, `BFS-DR`, `BFS-OD`).
+    /// Stack label (`EXT4-DR`, `BFS-DR/2x2`, ...).
     pub label: &'static str,
     /// Traces run.
     pub traces: u64,
-    /// Fork points (journal commits) visited.
+    /// Capture points (journal commits) visited.
     pub fork_points: u64,
-    /// Distinct crash images enumerated and checked.
+    /// Distinct crash images enumerated and checked exhaustively.
     pub images: u64,
     /// Equivalent images skipped by dedup.
     pub duplicates: u64,
-    /// Fork points whose choice space was clamped.
+    /// Distinct images found only by stratified sampling.
+    pub sampled_images: u64,
+    /// Sampled draws that collapsed onto an already-checked image.
+    pub sampled_duplicates: u64,
+    /// Capture points whose choice space was clamped.
     pub clamped_points: u64,
     /// Filesystem violations summed over all images.
     pub fs_violations: u64,
@@ -536,14 +1041,29 @@ pub struct StackRow {
     pub epoch_violations: u64,
 }
 
-/// A cross-stack divergence: at an aligned `(trace, fork point)` this
+/// Sampled-vs-exhaustive coverage counters over the whole run.
+#[derive(Debug, Clone, Default)]
+pub struct CrashStats {
+    /// Distinct images checked by exhaustive enumeration.
+    pub exhaustive_images: u64,
+    /// Exhaustive enumerations skipped by dedup.
+    pub exhaustive_duplicates: u64,
+    /// Distinct images reached only by stratified sampling.
+    pub sampled_images: u64,
+    /// Sampled draws deduplicated away.
+    pub sampled_duplicates: u64,
+    /// Capture points whose choice space was clamped.
+    pub clamped_points: u64,
+}
+
+/// A cross-stack divergence: at an aligned `(trace, capture point)` this
 /// stack violated while a peer stayed clean, minimized to the smallest
 /// reordering choice that still violates.
 #[derive(Debug, Clone)]
 pub struct DivergenceTriple {
     /// Trace seed.
     pub seed: u64,
-    /// Commit count at the fork (alignment key).
+    /// Commit count at the capture (alignment key).
     pub commit_idx: usize,
     /// The violating stack.
     pub stack: &'static str,
@@ -558,8 +1078,10 @@ pub struct DivergenceTriple {
 pub struct CrashEnumReport {
     /// Per-stack aggregates.
     pub rows: Vec<StackRow>,
-    /// Total distinct crash points explored across all stacks.
+    /// Total distinct crash points explored exhaustively across stacks.
     pub total_points: u64,
+    /// Sampled-vs-exhaustive coverage over the whole run.
+    pub stats: CrashStats,
     /// Cross-stack divergences (empty = all stacks agree).
     pub divergences: Vec<DivergenceTriple>,
 }
@@ -567,9 +1089,11 @@ pub struct CrashEnumReport {
 /// One differential stack: label, config constructor, sync flavour.
 type DiffStack = (&'static str, fn() -> StackConfig, SyncMode);
 
-/// The three differential stacks, all over the paper's barrier UFS: the
-/// flush-based baseline and the two BarrierFS disciplines must agree.
-fn diff_stacks() -> Vec<DiffStack> {
+/// The differential stacks, grouped by lane topology (divergences are
+/// only meaningful between stacks that shard blocks identically): the
+/// flush-based baseline and the two BarrierFS disciplines must agree, at
+/// 1q×1dev and again at 2q×2dev, all over the paper's barrier UFS.
+fn diff_stacks() -> Vec<(&'static str, Vec<DiffStack>)> {
     fn ext4_dr() -> StackConfig {
         StackConfig::ext4_dr(DeviceProfile::ufs()).with_history()
     }
@@ -581,10 +1105,43 @@ fn diff_stacks() -> Vec<DiffStack> {
             .ordering_only()
             .with_history()
     }
+    fn ext4_dr_mq() -> StackConfig {
+        StackConfig::ext4_dr(DeviceProfile::ufs())
+            .with_history()
+            .with_topology(Topology::new(2, 2, 16))
+    }
+    fn bfs_dr_mq() -> StackConfig {
+        StackConfig::bfs(DeviceProfile::ufs())
+            .with_history()
+            .with_topology(Topology::new(2, 2, 16))
+    }
+    fn bfs_od_mq() -> StackConfig {
+        StackConfig::bfs(DeviceProfile::ufs())
+            .ordering_only()
+            .with_history()
+            .with_topology(Topology::new(2, 2, 16))
+    }
     vec![
-        ("EXT4-DR", ext4_dr, SyncMode::Fsync),
-        ("BFS-DR", bfs_dr, SyncMode::Fsync),
-        ("BFS-OD", bfs_od, SyncMode::Fbarrier),
+        (
+            "1q1d",
+            vec![
+                ("EXT4-DR", ext4_dr as fn() -> StackConfig, SyncMode::Fsync),
+                ("BFS-DR", bfs_dr, SyncMode::Fsync),
+                ("BFS-OD", bfs_od, SyncMode::Fbarrier),
+            ],
+        ),
+        (
+            "2q2d",
+            vec![
+                (
+                    "EXT4-DR/2x2",
+                    ext4_dr_mq as fn() -> StackConfig,
+                    SyncMode::Fsync,
+                ),
+                ("BFS-DR/2x2", bfs_dr_mq, SyncMode::Fsync),
+                ("BFS-OD/2x2", bfs_od_mq, SyncMode::Fbarrier),
+            ],
+        ),
     ]
 }
 
@@ -592,7 +1149,8 @@ fn diff_stacks() -> Vec<DiffStack> {
 /// sharded across the grid pool, prints the per-stack table (and the
 /// divergence table when non-empty), and returns the report.
 pub fn run(traces: u64) -> CrashEnumReport {
-    let stacks = diff_stacks();
+    let groups = diff_stacks();
+    let stacks: Vec<DiffStack> = groups.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     let mut grid = ExperimentGrid::new();
     for (label, mk_cfg, sync) in &stacks {
         let (label, mk_cfg, sync) = (*label, *mk_cfg, *sync);
@@ -606,6 +1164,7 @@ pub fn run(traces: u64) -> CrashEnumReport {
     assert_eq!(results.len(), stacks.len() * traces as usize);
 
     let mut rows = Vec::new();
+    let mut stats = CrashStats::default();
     let mut divergences = Vec::new();
     let cells: Vec<&[CellOutcome]> = results.chunks((traces as usize).max(1)).collect();
     for ((label, _, _), chunk) in stacks.iter().zip(&cells) {
@@ -615,6 +1174,8 @@ pub fn run(traces: u64) -> CrashEnumReport {
             fork_points: 0,
             images: 0,
             duplicates: 0,
+            sampled_images: 0,
+            sampled_duplicates: 0,
             clamped_points: 0,
             fs_violations: 0,
             epoch_violations: 0,
@@ -624,51 +1185,64 @@ pub fn run(traces: u64) -> CrashEnumReport {
             for p in &cell.points {
                 row.images += p.images;
                 row.duplicates += p.duplicates;
+                row.sampled_images += p.sampled_images;
+                row.sampled_duplicates += p.sampled_duplicates;
                 row.clamped_points += p.clamped as u64;
                 row.fs_violations += p.fs_violations;
                 row.epoch_violations += p.epoch_violations;
             }
         }
+        stats.exhaustive_images += row.images;
+        stats.exhaustive_duplicates += row.duplicates;
+        stats.sampled_images += row.sampled_images;
+        stats.sampled_duplicates += row.sampled_duplicates;
+        stats.clamped_points += row.clamped_points;
         rows.push(row);
     }
 
-    // Differential fold: align per-seed fork points by commit count; any
-    // point where the violation verdicts differ across stacks is a
-    // divergence for each violating stack.
-    for seed in 0..traces as usize {
-        let per_stack: Vec<HashMap<usize, &PointOutcome>> = cells
-            .iter()
-            .map(|chunk| {
-                chunk[seed]
-                    .points
-                    .iter()
-                    .map(|p| (p.commit_idx, p))
-                    .collect()
-            })
-            .collect();
-        let aligned: HashSet<usize> = per_stack
-            .iter()
-            .flat_map(|m| m.keys().copied())
-            .filter(|k| per_stack.iter().all(|m| m.contains_key(k)))
-            .collect();
-        let mut aligned: Vec<usize> = aligned.into_iter().collect();
-        aligned.sort_unstable();
-        for k in aligned {
-            let verdicts: Vec<bool> = per_stack.iter().map(|m| m[&k].worst.is_some()).collect();
-            if verdicts.iter().any(|&v| v) && verdicts.iter().any(|&v| !v) {
-                for ((label, _, _), m) in stacks.iter().zip(&per_stack) {
-                    if let Some(case) = &m[&k].worst {
-                        divergences.push(DivergenceTriple {
-                            seed: seed as u64,
-                            commit_idx: k,
-                            stack: label,
-                            choices: case.choices.clone(),
-                            detail: case.detail.clone(),
-                        });
+    // Differential fold, per topology group: align per-seed capture
+    // points by commit count; any point where the violation verdicts
+    // differ across the group's stacks is a divergence for each violating
+    // stack.
+    let mut offset = 0usize;
+    for (_, group) in &groups {
+        let group_cells = &cells[offset..offset + group.len()];
+        for seed in 0..traces as usize {
+            let per_stack: Vec<HashMap<usize, &PointOutcome>> = group_cells
+                .iter()
+                .map(|chunk| {
+                    chunk[seed]
+                        .points
+                        .iter()
+                        .map(|p| (p.commit_idx, p))
+                        .collect()
+                })
+                .collect();
+            let aligned: HashSet<usize> = per_stack
+                .iter()
+                .flat_map(|m| m.keys().copied())
+                .filter(|k| per_stack.iter().all(|m| m.contains_key(k)))
+                .collect();
+            let mut aligned: Vec<usize> = aligned.into_iter().collect();
+            aligned.sort_unstable();
+            for k in aligned {
+                let verdicts: Vec<bool> = per_stack.iter().map(|m| m[&k].worst.is_some()).collect();
+                if verdicts.iter().any(|&v| v) && verdicts.iter().any(|&v| !v) {
+                    for ((label, _, _), m) in group.iter().zip(&per_stack) {
+                        if let Some(case) = &m[&k].worst {
+                            divergences.push(DivergenceTriple {
+                                seed: seed as u64,
+                                commit_idx: k,
+                                stack: label,
+                                choices: case.choices.clone(),
+                                detail: case.detail.clone(),
+                            });
+                        }
                     }
                 }
             }
         }
+        offset += group.len();
     }
 
     let total_points: u64 = rows.iter().map(|r| r.images).sum();
@@ -681,6 +1255,8 @@ pub fn run(traces: u64) -> CrashEnumReport {
                 r.fork_points.to_string(),
                 r.images.to_string(),
                 r.duplicates.to_string(),
+                r.sampled_images.to_string(),
+                r.sampled_duplicates.to_string(),
                 r.clamped_points.to_string(),
                 r.fs_violations.to_string(),
                 r.epoch_violations.to_string(),
@@ -695,6 +1271,8 @@ pub fn run(traces: u64) -> CrashEnumReport {
             "fork points",
             "crash points",
             "dedup-skipped",
+            "sampled",
+            "sampled-dup",
             "clamped",
             "fs violations",
             "epoch violations",
@@ -704,6 +1282,10 @@ pub fn run(traces: u64) -> CrashEnumReport {
     println!(
         "total crash points explored: {total_points}; cross-stack divergences: {}",
         divergences.len()
+    );
+    println!(
+        "stratified sampling: {} extra images past the clamp ({} draws deduplicated, {} clamped points)",
+        stats.sampled_images, stats.sampled_duplicates, stats.clamped_points
     );
     if !divergences.is_empty() {
         let rows: Vec<Vec<String>> = divergences
@@ -734,6 +1316,7 @@ pub fn run(traces: u64) -> CrashEnumReport {
     CrashEnumReport {
         rows,
         total_points,
+        stats,
         divergences,
     }
 }
@@ -741,14 +1324,16 @@ pub fn run(traces: u64) -> CrashEnumReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bio_flash::AppendLog;
 
     fn dev_state(mode: BarrierMode, plp: bool, log: AppendLog) -> DeviceState {
         DeviceState {
-            log,
+            base: Arc::new(log.base().clone()),
+            tail: log.tail().copied().collect(),
             cache: Vec::new(),
             plp,
             mode,
-            committed: HashSet::new(),
+            committed: Arc::new(BTreeSet::new()),
             history: None,
         }
     }
@@ -770,19 +1355,19 @@ mod tests {
         let d = dev_state(BarrierMode::LfsInOrderRecovery, false, mixed_log());
         let (space, clamped) = d.choice_space();
         assert!(!clamped);
-        assert_eq!(space.n_choices(), 3); // holes at idx 1 and 3, plus "none"
-                                          // Choice 0 == the deterministic crash image (prefix to first hole).
-        let img0 = d.image_for(&space, 0);
+        assert_eq!(space.exhaustive_choices(), 3); // holes at idx 1 and 3, plus "none"
+                                                   // Choice 0 == the deterministic crash image (prefix to first hole).
+        let img0 = d.view_for(&space, 0);
         assert_eq!(img0.tag(Lba(1)), BlockTag(10));
         assert_eq!(img0.tag(Lba(2)), BlockTag::UNWRITTEN);
         assert_eq!(img0.tag(Lba(3)), BlockTag::UNWRITTEN);
         // Choice 1: first in-flight made it, hole at idx 3.
-        let img1 = d.image_for(&space, 1);
+        let img1 = d.view_for(&space, 1);
         assert_eq!(img1.tag(Lba(2)), BlockTag(20));
         assert_eq!(img1.tag(Lba(3)), BlockTag(30));
         assert_eq!(img1.tag(Lba(4)), BlockTag::UNWRITTEN);
         // Choice 2: everything made it.
-        let img2 = d.image_for(&space, 2);
+        let img2 = d.view_for(&space, 2);
         assert_eq!(img2.tag(Lba(4)), BlockTag(40));
     }
 
@@ -791,19 +1376,19 @@ mod tests {
         let d = dev_state(BarrierMode::Unsupported, false, mixed_log());
         let (space, clamped) = d.choice_space();
         assert!(!clamped);
-        assert_eq!(space.n_choices(), 4); // two free bits
-                                          // Choice 0 == done-only image.
-        let img0 = d.image_for(&space, 0);
-        assert_eq!(img0.len(), 2);
+        assert_eq!(space.exhaustive_choices(), 4); // two free bits
+                                                   // Choice 0 == done-only image.
+        let img0 = d.view_for(&space, 0);
+        assert_eq!(img0.materialize().len(), 2);
         // Bit 1 (second in-flight, idx 3) alone: out-of-order survival the
         // LFS mode cannot produce.
-        let img = d.image_for(&space, 0b10);
+        let img = d.view_for(&space, 0b10);
         assert_eq!(img.tag(Lba(2)), BlockTag::UNWRITTEN);
         assert_eq!(img.tag(Lba(4)), BlockTag(40));
     }
 
     #[test]
-    fn subset_space_clamps_to_bit_budget() {
+    fn subset_space_clamps_to_bit_budget_but_keeps_full_list() {
         let mut log = AppendLog::new();
         for i in 0..12 {
             log.begin(Lba(i), BlockTag(100 + i), None);
@@ -811,7 +1396,10 @@ mod tests {
         let d = dev_state(BarrierMode::Unsupported, false, log);
         let (space, clamped) = d.choice_space();
         assert!(clamped);
-        assert_eq!(space.n_choices(), 1 << MAX_FREE_BITS);
+        // Exhaustive window stays at the bit budget...
+        assert_eq!(space.exhaustive_choices(), 1 << MAX_FREE_BITS);
+        // ...but the sampler sees every free bit.
+        assert_eq!(space.sample_bits(), 12);
     }
 
     #[test]
@@ -825,12 +1413,12 @@ mod tests {
         log.mark_done(c);
         let d = dev_state(BarrierMode::Transactional, false, log);
         let (space, _) = d.choice_space();
-        assert_eq!(space.n_choices(), 2); // one open group
-        let lost = d.image_for(&space, 0);
+        assert_eq!(space.exhaustive_choices(), 2); // one open group
+        let lost = d.view_for(&space, 0);
         assert_eq!(lost.tag(Lba(1)), BlockTag::UNWRITTEN);
         assert_eq!(lost.tag(Lba(2)), BlockTag::UNWRITTEN);
         assert_eq!(lost.tag(Lba(3)), BlockTag(30));
-        let survived = d.image_for(&space, 1);
+        let survived = d.view_for(&space, 1);
         assert_eq!(survived.tag(Lba(1)), BlockTag(10));
         assert_eq!(survived.tag(Lba(2)), BlockTag(20));
     }
@@ -840,8 +1428,8 @@ mod tests {
         let mut d = dev_state(BarrierMode::Unsupported, true, mixed_log());
         d.cache.push((Lba(9), BlockTag(90)));
         let (space, _) = d.choice_space();
-        assert_eq!(space.n_choices(), 1);
-        let img = d.image_for(&space, 0);
+        assert_eq!(space.exhaustive_choices(), 1);
+        let img = d.view_for(&space, 0);
         assert_eq!(img.tag(Lba(2)), BlockTag(20)); // even in-flight survives
         assert_eq!(img.tag(Lba(9)), BlockTag(90)); // cache overlaid
     }
@@ -857,11 +1445,11 @@ mod tests {
         log.begin(Lba(2), BlockTag(21), None);
         let p = CrashPoint {
             commit_idx: 0,
-            records: Vec::new(),
+            records: Arc::new(Vec::new()),
             devices: vec![dev_state(BarrierMode::Unsupported, false, log)],
             topology: Topology::single(),
         };
-        let out = enumerate_point(&p);
+        let out = enumerate_point(&p, 0);
         // {}, {20}, {21}, {20,21}→21 : the last dedups onto {21}.
         assert_eq!(out.images, 3);
         assert_eq!(out.duplicates, 1);
@@ -890,11 +1478,11 @@ mod tests {
         };
         let p = CrashPoint {
             commit_idx: 1,
-            records: vec![rec],
+            records: Arc::new(vec![rec]),
             devices: vec![dev_state(BarrierMode::Unsupported, false, log)],
             topology: Topology::single(),
         };
-        let out = enumerate_point(&p);
+        let out = enumerate_point(&p, 0);
         assert!(out.fs_violations > 0);
         let worst = out.worst.expect("violating case recorded");
         // Minimized: the all-zero choice already violates (jc lost).
@@ -903,18 +1491,105 @@ mod tests {
     }
 
     #[test]
-    fn differential_trace_smoke_is_clean() {
-        for (label, mk_cfg, sync) in diff_stacks() {
-            let cell = enumerate_trace(mk_cfg(), sync, 1);
-            assert!(!cell.points.is_empty(), "{label}: no fork points");
-            for p in &cell.points {
-                assert_eq!(
-                    p.fs_violations + p.epoch_violations,
-                    0,
-                    "{label}: violation at commit {}",
-                    p.commit_idx
-                );
+    fn stratified_sampling_reaches_past_the_exhaustive_window() {
+        // 12 free bits: the exhaustive window covers 256 of 4096 subsets;
+        // sampling must find images beyond it, deterministically.
+        let mut log = AppendLog::new();
+        for i in 0..12 {
+            log.begin(Lba(i), BlockTag(100 + i), None);
+        }
+        let p = CrashPoint {
+            commit_idx: 0,
+            records: Arc::new(Vec::new()),
+            devices: vec![dev_state(BarrierMode::Unsupported, false, log)],
+            topology: Topology::single(),
+        };
+        let out = enumerate_point(&p, 42);
+        assert!(out.clamped);
+        assert_eq!(out.images, MAX_IMAGES_PER_POINT);
+        assert!(out.sampled_images > 0, "sampling found no new images");
+        // Seeded: the same point and seed reproduce the same outcome.
+        assert_eq!(out, enumerate_point(&p, 42));
+        // A different seed may draw different subsets but never changes
+        // the exhaustive window.
+        let other = enumerate_point(&p, 43);
+        assert_eq!(other.images, out.images);
+        assert_eq!(other.duplicates, out.duplicates);
+    }
+
+    #[test]
+    fn delta_capture_is_bit_identical_to_fork_capture() {
+        for (_, group) in diff_stacks() {
+            for (label, mk_cfg, sync) in group {
+                let delta = capture_points(mk_cfg(), sync, 3, CaptureMode::Delta);
+                let fork = capture_points(mk_cfg(), sync, 3, CaptureMode::Fork);
+                assert!(!delta.is_empty(), "{label}: no capture points");
+                assert_eq!(delta, fork, "{label}: capture paths diverge");
             }
         }
+    }
+
+    #[test]
+    fn differential_trace_smoke_is_clean() {
+        for (_, group) in diff_stacks() {
+            for (label, mk_cfg, sync) in group {
+                let cell = enumerate_trace(mk_cfg(), sync, 1);
+                assert!(!cell.points.is_empty(), "{label}: no capture points");
+                for p in &cell.points {
+                    assert_eq!(
+                        p.fs_violations + p.epoch_violations,
+                        0,
+                        "{label}: violation at commit {}",
+                        p.commit_idx
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_lane_differential_aligns_and_agrees() {
+        // The 2q×2dev group: every lane must have sequenced epochs, the
+        // three stacks must align on at least 12 capture points by commit
+        // count, and the verdicts at every aligned point must agree.
+        let groups = diff_stacks();
+        let (_, group) = &groups[1];
+        let cells: Vec<CellOutcome> = group
+            .iter()
+            .map(|(_, mk_cfg, sync)| enumerate_trace(mk_cfg(), *sync, 0))
+            .collect();
+        let per_stack: Vec<HashMap<usize, &PointOutcome>> = cells
+            .iter()
+            .map(|c| c.points.iter().map(|p| (p.commit_idx, p)).collect())
+            .collect();
+        let aligned: Vec<usize> = per_stack[0]
+            .keys()
+            .copied()
+            .filter(|k| per_stack.iter().all(|m| m.contains_key(k)))
+            .collect();
+        assert!(
+            aligned.len() >= 12,
+            "only {} aligned multi-lane capture points",
+            aligned.len()
+        );
+        for k in aligned {
+            let verdicts: Vec<bool> = per_stack.iter().map(|m| m[&k].worst.is_some()).collect();
+            assert!(
+                verdicts.iter().all(|&v| v == verdicts[0]),
+                "multi-lane divergence at commit {k}: {verdicts:?}"
+            );
+        }
+        // Per-lane epoch capture hook: the barrier-issuing stack (BFS-DR)
+        // must have released epochs on all four lanes.
+        let (_, mk_cfg, sync) = group[1];
+        let mut stack = trace_stack(mk_cfg(), sync, 0);
+        stack.run_until_done(SimDuration::from_secs(10));
+        let lanes = stack.report().lanes;
+        assert_eq!(lanes.len(), 4);
+        assert!(
+            lanes.iter().all(|l| l.epochs_released > 0),
+            "idle lane in 2q×2dev trace: {:?}",
+            lanes.iter().map(|l| l.epochs_released).collect::<Vec<_>>()
+        );
     }
 }

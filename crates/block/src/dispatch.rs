@@ -163,6 +163,10 @@ pub struct BlockStats {
     /// not exist (stale or forged events; handlers are total and never
     /// abort on a bad index).
     pub dropped_events: u64,
+    /// Preflush writes decomposed into an all-device flush broadcast
+    /// followed by the write (multi-device topologies only; a single
+    /// device honours `flush_before` in the command itself).
+    pub preflush_fanouts: u64,
 }
 
 /// Per-lane dispatch statistics.
@@ -178,6 +182,8 @@ pub struct LaneStats {
     pub busy_retries: u64,
     /// Barrier reassignments performed by this lane's epoch scheduler.
     pub reassignments: u64,
+    /// Epochs this lane has drained and released so far.
+    pub epochs_released: u64,
     /// Requests currently queued (scheduler + held).
     pub queued: usize,
     /// Requests (or split parts) the routing policy placed on this lane —
@@ -211,11 +217,14 @@ impl Lane {
 }
 
 /// Split-request bookkeeping: parts still in flight plus the original bio
-/// ids to complete when the last part lands.
+/// ids to complete when the last part lands. A preflush write's phase-1
+/// flush fan-out additionally parks the write itself in `then`, admitted
+/// once every device has drained its cache.
 #[derive(Debug, Clone)]
 struct SplitState {
     remaining: u32,
     ids: Vec<ReqId>,
+    then: Option<Box<BlockRequest>>,
 }
 
 /// An in-flight device command: the bio ids it answers for, plus the
@@ -392,6 +401,7 @@ impl BlockLayer {
                 dispatched: l.dispatched,
                 busy_retries: l.busy_retries,
                 reassignments: l.sched.reassignments(),
+                epochs_released: l.sched.epochs_released(),
                 queued: l.sched.len() + usize::from(l.held.is_some()),
                 routed: l.routed,
             })
@@ -494,6 +504,40 @@ impl BlockLayer {
     /// sequencer gate (the cross-lane epoch boundary).
     fn admit(&mut self, mut req: BlockRequest) {
         debug_assert!(!self.gate_closed, "admit only while the gate is open");
+        // REQ_PREFLUSH on a striped volume: a write's preflush only
+        // reaches its own device, but the blocks it orders after may sit
+        // in *any* device's cache (the journal and its descriptor blocks
+        // stripe independently). Do what md does: broadcast a flush to
+        // every device first, and only admit the write — preflush
+        // satisfied, FUA and ordering flags intact — once all of them
+        // have drained.
+        if req.flags.preflush && matches!(req.op, ReqOp::Write { .. }) {
+            let hw_queue = self.hw_queue_for(&req);
+            req.flags.preflush = false;
+            let key = self.next_split;
+            self.next_split += 1;
+            for dev in 0..self.topology.nr_devices {
+                let part = BlockRequest {
+                    id: self.alloc_part(key),
+                    op: ReqOp::Flush,
+                    flags: crate::request::ReqFlags::NONE,
+                    origin: req.origin,
+                };
+                let lane = self.topology.lane(dev, hw_queue);
+                self.lanes[lane].routed += 1;
+                self.lanes[lane].sched.enqueue(part);
+            }
+            self.stats.preflush_fanouts += 1;
+            self.splits.insert(
+                key,
+                SplitState {
+                    remaining: self.topology.nr_devices as u32,
+                    ids: Vec::new(),
+                    then: Some(Box::new(req)),
+                },
+            );
+            return;
+        }
         let closes_epoch = req.flags.barrier;
         if closes_epoch {
             // Strip the barrier exactly like the single-lane epoch
@@ -504,10 +548,7 @@ impl BlockLayer {
             req.flags.barrier = false;
             req.flags.ordered = true;
         }
-        let hw_queue = match self.routing {
-            LaneRouting::ByRequestId => (req.id.0 % self.topology.nr_hw_queues as u64) as usize,
-            LaneRouting::ByThread => req.origin as usize % self.topology.nr_hw_queues,
-        };
+        let hw_queue = self.hw_queue_for(&req);
         let key = self.next_split;
         self.next_split += 1;
         let mut remaining = 0u32;
@@ -568,6 +609,7 @@ impl BlockLayer {
             SplitState {
                 remaining,
                 ids: vec![req.id],
+                then: None,
             },
         );
         // The original payload was sliced into per-device parts above;
@@ -580,6 +622,13 @@ impl BlockLayer {
                 lane.sched.fence();
             }
             self.gate_closed = true;
+        }
+    }
+
+    fn hw_queue_for(&self, req: &BlockRequest) -> usize {
+        match self.routing {
+            LaneRouting::ByRequestId => (req.id.0 % self.topology.nr_hw_queues as u64) as usize,
+            LaneRouting::ByThread => req.origin as usize % self.topology.nr_hw_queues,
         }
     }
 
@@ -760,6 +809,15 @@ impl BlockLayer {
                 self.stats.completed += 1;
                 out.push(BlockAction::Complete(rid, at));
             }
+            // Phase 2 of a preflush fan-out: every device's cache has
+            // drained, the parked write may now issue.
+            if let Some(w) = st.then {
+                if self.gate_closed {
+                    self.front.push_back(*w);
+                } else {
+                    self.admit(*w);
+                }
+            }
         }
     }
 }
@@ -806,6 +864,86 @@ mod tests {
             cfg,
         );
         let _ = layer.device();
+    }
+
+    #[test]
+    fn preflush_write_drains_every_device_first() {
+        // Park a dirty block in device 1's cache, then issue a preflush
+        // write that stripes to device 0 only: the md-style fan-out must
+        // flush BOTH devices before the write issues, so at completion no
+        // cache holds anything and the earlier block is durable.
+        let cfg = BlockConfig::default().with_topology(Topology::new(1, 2, 1));
+        let mut layer = BlockLayer::new(
+            vec![
+                Device::new(DeviceProfile::ufs(), 1),
+                Device::new(DeviceProfile::ufs(), 2),
+            ],
+            cfg,
+        );
+        let mut out = ActionSink::new();
+        let mut q = bio_sim::EventQueue::new();
+        let mut drive = |layer: &mut BlockLayer, out: &mut ActionSink<BlockAction>| {
+            let mut done = Vec::new();
+            let mut last = SimTime::ZERO;
+            loop {
+                for a in out.drain() {
+                    match a {
+                        BlockAction::Complete(rid, _) => done.push(rid),
+                        BlockAction::After(d, ev) => q.push_after(d, ev),
+                    }
+                }
+                let Some((now, ev)) = q.pop() else { break };
+                last = now;
+                layer.handle(ev, now, out);
+            }
+            (done, last)
+        };
+        // Lba(1) lands on device 1 (1-block stripes), stays in its cache.
+        layer.submit(
+            BlockRequest::write(ReqId(1), Lba(1), vec![BlockTag(11)], ReqFlags::NONE),
+            SimTime::ZERO,
+            &mut out,
+        );
+        let (done, t1) = drive(&mut layer, &mut out);
+        assert_eq!(done, vec![ReqId(1)]);
+        assert!(layer
+            .device_at(1)
+            .cache()
+            .entries_in_order()
+            .next()
+            .is_some());
+        // Preflush+FUA write to Lba(0) (device 0 only by striping).
+        let flags = ReqFlags {
+            ordered: false,
+            barrier: false,
+            fua: true,
+            preflush: true,
+        };
+        layer.submit(
+            BlockRequest::write(ReqId(2), Lba(0), vec![BlockTag(20)], flags),
+            t1,
+            &mut out,
+        );
+        let (done, _) = drive(&mut layer, &mut out);
+        assert_eq!(done, vec![ReqId(2)]);
+        assert_eq!(layer.stats().preflush_fanouts, 1);
+        for di in 0..2 {
+            assert!(
+                layer
+                    .device_at(di)
+                    .cache()
+                    .entries_in_order()
+                    .next()
+                    .is_none(),
+                "device {di} cache not drained by the preflush fan-out"
+            );
+        }
+        // The parked block became durable before the commit-style write.
+        assert_eq!(
+            layer.device_at(1).crash_image().tag(Lba(0)),
+            BlockTag(11),
+            "device-local image keeps the flushed block"
+        );
     }
 
     #[test]

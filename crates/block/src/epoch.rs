@@ -47,6 +47,10 @@ pub struct EpochScheduler {
     coordinated: bool,
     /// Barriers reassigned so far (observability for tests/metrics).
     reassignments: u64,
+    /// Epochs this lane has drained and released (each unblock closes
+    /// exactly one epoch on this lane). The crash engine's capture hooks
+    /// read this to prove cross-lane epoch alignment at a capture point.
+    epochs_released: u64,
 }
 
 impl Clone for EpochScheduler {
@@ -58,6 +62,7 @@ impl Clone for EpochScheduler {
             barrier_owed: self.barrier_owed,
             coordinated: self.coordinated,
             reassignments: self.reassignments,
+            epochs_released: self.epochs_released,
         }
     }
 }
@@ -72,6 +77,7 @@ impl EpochScheduler {
             barrier_owed: false,
             coordinated: false,
             reassignments: 0,
+            epochs_released: 0,
         }
     }
 
@@ -119,6 +125,11 @@ impl EpochScheduler {
         self.reassignments
     }
 
+    /// Epochs this lane has drained and released so far.
+    pub fn epochs_released(&self) -> u64 {
+        self.epochs_released
+    }
+
     fn accept(&mut self, mut req: BlockRequest) {
         debug_assert!(
             !(self.coordinated && req.flags.barrier),
@@ -136,6 +147,7 @@ impl EpochScheduler {
 
     fn unblock(&mut self) {
         self.blocked = false;
+        self.epochs_released += 1;
         // Re-admit buffered requests; one of them may be another barrier,
         // which re-blocks the queue and stops the drain.
         while !self.blocked {

@@ -5,7 +5,10 @@
 use std::collections::BTreeMap;
 
 use bio_block::{BlockAction, BlockConfig, BlockEvent, BlockLayer, BlockStats, LaneStats};
-use bio_flash::{audit_epoch_order, Device, DeviceStats, EpochViolation, FtlStats, PersistedImage};
+use bio_flash::{
+    audit_epoch_order, Device, DeviceCaptureDelta, DeviceStats, EpochViolation, FtlStats,
+    PersistedImage,
+};
 use bio_fs::{
     check_crash_consistency, FileId, Filesystem, FsAction, FsEvent, FsStats, FsViolation,
     SyscallOutcome, ThreadId,
@@ -103,6 +106,20 @@ impl CrashReport {
     pub fn is_consistent(&self) -> bool {
         self.fs_violations.is_empty() && self.epoch_violations.is_empty()
     }
+}
+
+/// Everything that changed since the previous capture epoch, drained by
+/// [`IoStack::take_capture_delta`]: the record-history mutations from the
+/// filesystem plus one [`DeviceCaptureDelta`] per device. Empty vectors
+/// mean "nothing happened since last drain" — a capture built on top of
+/// the previous one needs no further reconciliation.
+#[derive(Debug, Clone, Default)]
+pub struct StackCaptureDelta {
+    /// Transaction ids whose records flipped `durability_claimed` since
+    /// the last drain (the only in-place mutation of the record history).
+    pub records_marked_durable: Vec<u64>,
+    /// Per-device fold/group-commit deltas, in device-index order.
+    pub devices: Vec<DeviceCaptureDelta>,
 }
 
 /// The assembled barrier-enabled (or legacy) IO stack.
@@ -268,6 +285,40 @@ impl IoStack {
     /// Direct filesystem access.
     pub fn fs(&self) -> &Filesystem {
         &self.fs
+    }
+
+    /// True once every workload thread has reached the terminal
+    /// `Finished` state (the stack may still have journal work queued —
+    /// see [`bio_fs::Filesystem::journal_quiescent`] for that half).
+    pub fn workloads_finished(&self) -> bool {
+        self.all_threads_finished()
+    }
+
+    /// Arms per-epoch delta tracking in the filesystem and every device:
+    /// from this call on, durable-mark, fold and group-commit events are
+    /// journaled so [`IoStack::take_capture_delta`] can report exactly
+    /// what changed since the previous capture. Idempotent; costs one
+    /// `Vec::push` per tracked event while armed.
+    pub fn enable_capture_tracking(&mut self) {
+        self.fs.enable_capture_tracking();
+        for dev in self.block.devices_mut() {
+            dev.enable_capture_tracking();
+        }
+    }
+
+    /// Drains the per-epoch capture deltas accumulated since the last
+    /// drain (or since [`IoStack::enable_capture_tracking`]). Devices are
+    /// reported in device-index order.
+    pub fn take_capture_delta(&mut self) -> StackCaptureDelta {
+        StackCaptureDelta {
+            records_marked_durable: self.fs.take_durable_marks(),
+            devices: self
+                .block
+                .devices_mut()
+                .iter_mut()
+                .map(Device::take_capture_delta)
+                .collect(),
+        }
     }
 
     /// Creates a shared file visible to workloads as

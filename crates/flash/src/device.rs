@@ -31,7 +31,7 @@ use crate::ftl::Ftl;
 use crate::profile::{BarrierMode, DeviceProfile};
 use crate::queue::CommandQueue;
 use crate::recovery::{AppendLog, PersistedImage, TransferRec};
-use crate::types::{BlockTag, CmdId, CmdKind, Command, Completion};
+use crate::types::{BlockTag, CmdId, CmdKind, Command, Completion, Lba};
 
 /// Cap on recycled tag buffers held by the device; beyond this the Vec is
 /// simply dropped (the pool only needs to cover the in-flight window).
@@ -145,6 +145,21 @@ struct TransState {
     open: Option<(u64, HashSet<u64>)>,
     next_gid: u64,
     committed: BTreeSet<u64>,
+    /// When capture tracking is armed, groups committed since the last
+    /// [`Device::take_capture_delta`], in commit order.
+    committed_log: Option<Vec<u64>>,
+}
+
+/// What changed in a device's capture-relevant state since the previous
+/// [`Device::take_capture_delta`] call: the crash engine replays this onto
+/// its shared snapshot instead of re-reading the whole append log, making
+/// a crash-point capture O(writes this epoch) rather than O(log length).
+#[derive(Debug, Clone, Default)]
+pub struct DeviceCaptureDelta {
+    /// Blocks folded into the durable base, in fold order.
+    pub folds: Vec<(Lba, BlockTag)>,
+    /// Transactional-writeback groups committed, in commit order.
+    pub committed_groups: Vec<u64>,
 }
 
 /// Aggregate device statistics.
@@ -314,6 +329,31 @@ impl Device {
     /// already pinned durable from those still free to vanish.
     pub fn committed_groups(&self) -> impl Iterator<Item = u64> + '_ {
         self.trans.committed.iter().copied()
+    }
+
+    /// Arms capture-delta tracking: fold and group-commit streams are
+    /// recorded from now on for [`Device::take_capture_delta`]. Off by
+    /// default — figure runs pay nothing; the crash engine drains the
+    /// streams at every capture, keeping them bounded by one epoch.
+    pub fn enable_capture_tracking(&mut self) {
+        self.log.track_folds();
+        if self.trans.committed_log.is_none() {
+            self.trans.committed_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the capture-relevant changes since the previous take (all
+    /// empty when tracking was never armed).
+    pub fn take_capture_delta(&mut self) -> DeviceCaptureDelta {
+        DeviceCaptureDelta {
+            folds: self.log.take_fold_log(),
+            committed_groups: self
+                .trans
+                .committed_log
+                .as_mut()
+                .map(std::mem::take)
+                .unwrap_or_default(),
+        }
     }
 
     /// Submits a command. Returns the command back when the queue is full
@@ -797,6 +837,9 @@ impl Device {
             members.remove(&seq);
             if members.is_empty() {
                 self.trans.committed.insert(*gid);
+                if let Some(log) = &mut self.trans.committed_log {
+                    log.push(*gid);
+                }
                 group_committed = true;
             }
         }

@@ -45,11 +45,12 @@ mod types;
 
 pub use cache::{CacheEntry, CacheError, EntryState, WritebackCache};
 pub use chip::ChipArray;
-pub use device::{DevAction, DevEvent, Device, DeviceStats};
+pub use device::{DevAction, DevEvent, Device, DeviceCaptureDelta, DeviceStats};
 pub use ftl::{Ftl, FtlStats, GcRun, PhysLoc};
 pub use profile::{BarrierMode, BarrierOverhead, DeviceProfile};
 pub use queue::CommandQueue;
 pub use recovery::{
-    audit_epoch_order, AppendLog, AppendRec, EpochViolation, PersistedImage, TransferRec,
+    audit_epoch_order, AppendLog, AppendRec, EpochAudit, EpochViolation, ImageView, PersistedImage,
+    TransferRec,
 };
 pub use types::{BlockTag, CmdId, CmdKind, Command, Completion, Lba, Priority, WriteFlags};

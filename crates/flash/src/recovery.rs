@@ -39,6 +39,10 @@ pub struct AppendLog {
     /// Append sequence number of `entries[0]`.
     start: u64,
     next: u64,
+    /// When tracking is armed, every `(lba, tag)` folded into the base is
+    /// also appended here so a capture cursor can replay the fold stream
+    /// onto its shared base snapshot instead of re-reading the whole map.
+    fold_log: Option<Vec<(Lba, BlockTag)>>,
 }
 
 impl AppendLog {
@@ -79,11 +83,39 @@ impl AppendLog {
             if front.done && committed {
                 let rec = self.entries.pop_front().expect("front exists");
                 self.base.insert(rec.lba, rec.tag);
+                if let Some(log) = &mut self.fold_log {
+                    log.push((rec.lba, rec.tag));
+                }
                 self.start += 1;
             } else {
                 break;
             }
         }
+    }
+
+    /// The folded durable prefix: block address → newest folded version.
+    pub fn base(&self) -> &BTreeMap<Lba, BlockTag> {
+        &self.base
+    }
+
+    /// Arms fold tracking: from now on every fold is also recorded for
+    /// [`AppendLog::take_fold_log`]. Off by default so figure runs pay
+    /// nothing; the crash engine drains the log at every capture, keeping
+    /// it bounded by the writes of one epoch.
+    pub fn track_folds(&mut self) {
+        if self.fold_log.is_none() {
+            self.fold_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the folds recorded since the previous take (empty when
+    /// tracking was never armed). Replaying them in order onto a base
+    /// snapshot taken at the previous capture reproduces [`AppendLog::base`].
+    pub fn take_fold_log(&mut self) -> Vec<(Lba, BlockTag)> {
+        self.fold_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Number of unfolded records.
@@ -182,6 +214,21 @@ impl PersistedImage {
     }
 }
 
+/// Read access to a crash image: what content (if any) survived at a
+/// block. [`PersistedImage`] is the materialized implementation; the
+/// crash enumerator provides overlay-backed views that answer the same
+/// question without cloning the base map per image.
+pub trait ImageView {
+    /// Content at `lba`, [`BlockTag::UNWRITTEN`] if nothing survived.
+    fn tag(&self, lba: Lba) -> BlockTag;
+}
+
+impl ImageView for PersistedImage {
+    fn tag(&self, lba: Lba) -> BlockTag {
+        PersistedImage::tag(self, lba)
+    }
+}
+
 /// One host-visible transfer, in transfer order, with its barrier epoch.
 /// The device records these (when history recording is enabled) so audits
 /// can compare what *should* be orderable with what actually persisted.
@@ -207,44 +254,69 @@ pub struct EpochViolation {
     pub visible_epoch: u64,
 }
 
-/// Audits a crash image against the transfer history.
-///
-/// Rule: if any transfer of epoch *e* is visible in the image, every
-/// transfer of epochs `< e` must be *persisted or superseded* — the image
-/// must hold, for that block, a version at least as new as the transfer.
-/// Returns every violating transfer (empty = storage order held).
-pub fn audit_epoch_order(history: &[TransferRec], image: &PersistedImage) -> Vec<EpochViolation> {
-    // Map each tag to its transfer seq so "at least as new" is decidable.
-    let seq_of_tag: HashMap<BlockTag, u64> = history.iter().map(|t| (t.tag, t.seq)).collect();
+/// The epoch-order auditor with its per-history tables hoisted out of the
+/// per-image loop: the tag → transfer-seq map depends only on the history,
+/// so the crash enumerator builds one auditor per fork point and runs it
+/// against hundreds of images instead of rebuilding the map every time.
+pub struct EpochAudit<'a> {
+    history: &'a [TransferRec],
+    /// Map each tag to its transfer seq so "at least as new" is decidable.
+    seq_of_tag: HashMap<BlockTag, u64>,
+}
 
-    let visible_epoch = history
-        .iter()
-        .filter(|t| image.tag(t.lba) == t.tag)
-        .map(|t| t.epoch)
-        .max();
-    let Some(visible_epoch) = visible_epoch else {
-        return Vec::new(); // nothing persisted at all: trivially ordered
-    };
-
-    let mut violations = Vec::new();
-    for t in history {
-        if t.epoch >= visible_epoch {
-            continue; // the newest visible epoch itself may be partial
-        }
-        let img_tag = image.tag(t.lba);
-        let img_seq = if img_tag == BlockTag::UNWRITTEN {
-            0
-        } else {
-            seq_of_tag.get(&img_tag).copied().unwrap_or(0)
-        };
-        if img_seq < t.seq {
-            violations.push(EpochViolation {
-                lost: *t,
-                visible_epoch,
-            });
+impl<'a> EpochAudit<'a> {
+    /// Precomputes the history-only tables.
+    pub fn new(history: &'a [TransferRec]) -> EpochAudit<'a> {
+        EpochAudit {
+            history,
+            seq_of_tag: history.iter().map(|t| (t.tag, t.seq)).collect(),
         }
     }
-    violations
+
+    /// Audits one crash image against the transfer history.
+    ///
+    /// Rule: if any transfer of epoch *e* is visible in the image, every
+    /// transfer of epochs `< e` must be *persisted or superseded* — the
+    /// image must hold, for that block, a version at least as new as the
+    /// transfer. Returns every violating transfer (empty = order held).
+    pub fn violations<V: ImageView>(&self, image: &V) -> Vec<EpochViolation> {
+        let visible_epoch = self
+            .history
+            .iter()
+            .filter(|t| image.tag(t.lba) == t.tag)
+            .map(|t| t.epoch)
+            .max();
+        let Some(visible_epoch) = visible_epoch else {
+            return Vec::new(); // nothing persisted at all: trivially ordered
+        };
+
+        let mut violations = Vec::new();
+        for t in self.history {
+            if t.epoch >= visible_epoch {
+                continue; // the newest visible epoch itself may be partial
+            }
+            let img_tag = image.tag(t.lba);
+            let img_seq = if img_tag == BlockTag::UNWRITTEN {
+                0
+            } else {
+                self.seq_of_tag.get(&img_tag).copied().unwrap_or(0)
+            };
+            if img_seq < t.seq {
+                violations.push(EpochViolation {
+                    lost: *t,
+                    visible_epoch,
+                });
+            }
+        }
+        violations
+    }
+}
+
+/// One-shot form of [`EpochAudit`]: builds the auditor and runs a single
+/// image through it (the original API; callers with many images per
+/// history should hold an auditor instead).
+pub fn audit_epoch_order(history: &[TransferRec], image: &PersistedImage) -> Vec<EpochViolation> {
+    EpochAudit::new(history).violations(image)
 }
 
 #[cfg(test)]

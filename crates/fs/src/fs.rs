@@ -252,6 +252,11 @@ pub struct Filesystem {
     /// [`Filesystem::restore_payload_buf`] when the block layer retires
     /// the command (completion-side return path).
     pub(crate) payload_pool: Vec<Vec<BlockTag>>,
+    /// When capture tracking is armed, ids of records whose
+    /// `durability_claimed` flag flipped since the last take — the only
+    /// in-place mutation the otherwise append-only record history sees,
+    /// so it is the only part a delta capture cannot read from the tail.
+    pub(crate) durable_mark_log: Option<Vec<u64>>,
 }
 
 impl Filesystem {
@@ -297,6 +302,7 @@ impl Filesystem {
             scratch_files: Vec::new(),
             scratch_writes: Vec::new(),
             payload_pool: Vec::new(),
+            durable_mark_log: None,
             cfg,
         }
     }
@@ -350,6 +356,44 @@ impl Filesystem {
     /// Number of transactions currently in the committing list.
     pub fn committing_count(&self) -> usize {
         self.committing.len()
+    }
+
+    /// True when the journal can produce no further commit records without
+    /// new syscall activity: nothing committing (every in-flight JD/JC
+    /// belongs to a transaction frozen into `committing` first), no
+    /// commit-thread run scheduled, no commit request pending on the
+    /// running transaction (a drained committing list reschedules the run
+    /// for it otherwise), and no dirty data pages left for writeback (the
+    /// pdflush timer only ever submits data writes, never commits). Once
+    /// every workload thread has finished, this condition is terminal —
+    /// the crash engine uses it to stop stepping a drained trace instead
+    /// of spinning the self-rearming timer to a stale-step limit.
+    pub fn journal_quiescent(&self) -> bool {
+        self.committing.is_empty()
+            && !self.commit_scheduled
+            && self.dirty_total == 0
+            && self
+                .running
+                .and_then(|rt| self.txns.get(rt))
+                .is_none_or(|t| !t.commit_requested)
+    }
+
+    /// Arms capture tracking: durable-mark flips on the record history are
+    /// recorded from now on for [`Filesystem::take_durable_marks`]. Off by
+    /// default; the crash engine drains the log at every capture.
+    pub fn enable_capture_tracking(&mut self) {
+        if self.durable_mark_log.is_none() {
+            self.durable_mark_log = Some(Vec::new());
+        }
+    }
+
+    /// Drains the ids of records whose `durability_claimed` flag flipped
+    /// since the previous take (empty when tracking was never armed).
+    pub fn take_durable_marks(&mut self) -> Vec<u64> {
+        self.durable_mark_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Creates a file.

@@ -485,6 +485,9 @@ impl Filesystem {
             // scan here turns long runs quadratic in committed txns.
             if let Ok(i) = self.records.binary_search_by_key(&txn.0, |r| r.id) {
                 self.records[i].durability_claimed = true;
+                if let Some(log) = &mut self.durable_mark_log {
+                    log.push(txn.0);
+                }
             }
         }
         for tid in waiters.drain(..) {

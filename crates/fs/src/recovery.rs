@@ -20,7 +20,7 @@
 //! numeric comparison, and overwritten (superseded) blocks are not false
 //! positives.
 
-use bio_flash::{BlockTag, Lba, PersistedImage};
+use bio_flash::{BlockTag, ImageView, Lba, PersistedImage};
 
 /// Ground truth of one committed journal transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,95 +74,125 @@ pub enum FsViolation {
     },
 }
 
-/// Replays the records against a crash image and returns all violations.
+/// The crash-consistency checker with its record-only tables hoisted out
+/// of the per-image loop: last-writer resolution and checkability depend
+/// only on the records, so the crash enumerator builds one checker per
+/// fork point and replays hundreds of images through it instead of
+/// rebuilding the tables every time.
 ///
 /// Only *checkable* transactions participate: a transaction whose journal
 /// blocks were later reused (circular log wrap) cannot be distinguished
 /// from a legitimately overwritten one, so it is skipped — by the time the
 /// journal wraps it has long been checkpointed.
-pub fn check_crash_consistency(records: &[TxnRecord], image: &PersistedImage) -> Vec<FsViolation> {
-    let mut violations = Vec::new();
+pub struct ConsistencyCheck<'a> {
+    records: &'a [TxnRecord],
+    /// Per record: all of its journal blocks still name it as last writer.
+    checkable: Vec<bool>,
+}
 
-    // Last writer per journal lba (for checkability).
-    use std::collections::HashMap;
-    let mut last_writer: HashMap<Lba, u64> = HashMap::new();
-    for r in records {
-        for (i, _) in r.jd_tags.iter().enumerate() {
-            last_writer.insert(Lba(r.jd_lba.0 + i as u64), r.id);
+impl<'a> ConsistencyCheck<'a> {
+    /// Precomputes the record-only tables.
+    pub fn new(records: &'a [TxnRecord]) -> ConsistencyCheck<'a> {
+        // Last writer per journal lba (for checkability).
+        use std::collections::HashMap;
+        let mut last_writer: HashMap<Lba, u64> = HashMap::new();
+        for r in records {
+            for (i, _) in r.jd_tags.iter().enumerate() {
+                last_writer.insert(Lba(r.jd_lba.0 + i as u64), r.id);
+            }
+            last_writer.insert(r.jc_lba, r.id);
         }
-        last_writer.insert(r.jc_lba, r.id);
-    }
-    let checkable = |r: &TxnRecord| -> bool {
-        r.jd_tags
+        let checkable = records
             .iter()
-            .enumerate()
-            .all(|(i, _)| last_writer[&Lba(r.jd_lba.0 + i as u64)] == r.id)
-            && last_writer[&r.jc_lba] == r.id
-    };
-    let jd_intact = |r: &TxnRecord| -> bool {
-        r.jd_tags
-            .iter()
-            .enumerate()
-            .all(|(i, &t)| image.tag(Lba(r.jd_lba.0 + i as u64)) == t)
-    };
-    let jc_intact = |r: &TxnRecord| -> bool { image.tag(r.jc_lba) == r.jc_tag };
-    // "Version at lba is at least `tag`": tags are globally monotonic, so
-    // a bigger tag at the same block is a newer version of it.
-    let present_or_superseded = |lba: Lba, tag: BlockTag| -> bool { image.tag(lba).0 >= tag.0 };
-
-    // Pass 1: classify.
-    let mut valid: Vec<bool> = Vec::with_capacity(records.len());
-    for r in records {
-        let ok = checkable(r) && jd_intact(r) && jc_intact(r);
-        valid.push(ok);
+            .map(|r| {
+                r.jd_tags
+                    .iter()
+                    .enumerate()
+                    .all(|(i, _)| last_writer[&Lba(r.jd_lba.0 + i as u64)] == r.id)
+                    && last_writer[&r.jc_lba] == r.id
+            })
+            .collect();
+        ConsistencyCheck { records, checkable }
     }
 
-    // Invariant 2: torn transactions (JC without full JD).
-    for r in records.iter().filter(|r| checkable(r)) {
-        if jc_intact(r) && !jd_intact(r) {
-            violations.push(FsViolation::TornTransaction { txn: r.id });
+    /// Replays the records against one crash image and returns all
+    /// violations.
+    pub fn violations<V: ImageView>(&self, image: &V) -> Vec<FsViolation> {
+        let mut violations = Vec::new();
+        let records = self.records;
+        let checkable = |i: usize| self.checkable[i];
+        let jd_intact = |r: &TxnRecord| -> bool {
+            r.jd_tags
+                .iter()
+                .enumerate()
+                .all(|(i, &t)| image.tag(Lba(r.jd_lba.0 + i as u64)) == t)
+        };
+        let jc_intact = |r: &TxnRecord| -> bool { image.tag(r.jc_lba) == r.jc_tag };
+        // "Version at lba is at least `tag`": tags are globally monotonic,
+        // so a bigger tag at the same block is a newer version of it.
+        let present_or_superseded = |lba: Lba, tag: BlockTag| -> bool { image.tag(lba).0 >= tag.0 };
+
+        // Pass 1: classify.
+        let mut valid: Vec<bool> = Vec::with_capacity(records.len());
+        for (i, r) in records.iter().enumerate() {
+            let ok = checkable(i) && jd_intact(r) && jc_intact(r);
+            valid.push(ok);
         }
-    }
 
-    // Invariant 1: commit order. Find the newest surviving transaction and
-    // require all older checkable ones to have survived (or have been
-    // legitimately superseded — handled by checkability).
-    if let Some(newest_valid) = records
-        .iter()
-        .zip(&valid)
-        .filter(|(_, v)| **v)
-        .map(|(r, _)| r.id)
-        .max()
-    {
-        for (r, v) in records.iter().zip(&valid) {
-            if r.id < newest_valid && checkable(r) && !*v {
-                violations.push(FsViolation::CommitOrder {
-                    earlier: r.id,
-                    later: newest_valid,
-                });
+        // Invariant 2: torn transactions (JC without full JD).
+        for (i, r) in records.iter().enumerate() {
+            if checkable(i) && jc_intact(r) && !jd_intact(r) {
+                violations.push(FsViolation::TornTransaction { txn: r.id });
             }
         }
-    }
 
-    // Invariant 3: ordered data of surviving transactions.
-    for (r, v) in records.iter().zip(&valid) {
-        if *v {
-            for &(lba, tag) in &r.ordered_data {
-                if !present_or_superseded(lba, tag) {
-                    violations.push(FsViolation::OrderedData { txn: r.id, lba });
+        // Invariant 1: commit order. Find the newest surviving transaction
+        // and require all older checkable ones to have survived (or have
+        // been legitimately superseded — handled by checkability).
+        if let Some(newest_valid) = records
+            .iter()
+            .zip(&valid)
+            .filter(|(_, v)| **v)
+            .map(|(r, _)| r.id)
+            .max()
+        {
+            for (i, (r, v)) in records.iter().zip(&valid).enumerate() {
+                if r.id < newest_valid && checkable(i) && !*v {
+                    violations.push(FsViolation::CommitOrder {
+                        earlier: r.id,
+                        later: newest_valid,
+                    });
                 }
             }
         }
-    }
 
-    // Invariant 4: durability claims.
-    for (r, v) in records.iter().zip(&valid) {
-        if r.durability_claimed && checkable(r) && !*v {
-            violations.push(FsViolation::DurabilityLoss { txn: r.id });
+        // Invariant 3: ordered data of surviving transactions.
+        for (r, v) in records.iter().zip(&valid) {
+            if *v {
+                for &(lba, tag) in &r.ordered_data {
+                    if !present_or_superseded(lba, tag) {
+                        violations.push(FsViolation::OrderedData { txn: r.id, lba });
+                    }
+                }
+            }
         }
-    }
 
-    violations
+        // Invariant 4: durability claims.
+        for (i, (r, v)) in records.iter().zip(&valid).enumerate() {
+            if r.durability_claimed && checkable(i) && !*v {
+                violations.push(FsViolation::DurabilityLoss { txn: r.id });
+            }
+        }
+
+        violations
+    }
+}
+
+/// One-shot form of [`ConsistencyCheck`]: builds the checker and replays a
+/// single image (the original API; callers with many images per record set
+/// should hold a checker instead).
+pub fn check_crash_consistency(records: &[TxnRecord], image: &PersistedImage) -> Vec<FsViolation> {
+    ConsistencyCheck::new(records).violations(image)
 }
 
 #[cfg(test)]

@@ -4,8 +4,13 @@
 //! and no-aliasing guarantees are proptested, but those tests only cover
 //! the fields that *exist today*. The failure mode this pass closes: a
 //! new field (say, an arena) is added to a forkable type and the
-//! hand-written `fork`/`clone` silently drops or aliases it. For every
-//! non-test `fn fork` (and `fn clone` inside an `impl Clone for …`) in
+//! hand-written `fork`/`clone` silently drops or aliases it. The same
+//! failure mode applies to the zero-clone crash-capture path (PR 10):
+//! `capture` builds a snapshot field-by-field through borrowed accessors
+//! and `delta_apply` rebuilds cursor state from a per-epoch delta — a
+//! field added to either type but not to these bodies silently vanishes
+//! from every crash image. For every non-test `fn fork`, `fn capture`,
+//! `fn delta_apply` (and `fn clone` inside an `impl Clone for …`) in
 //! `src/`, whose body builds the type with an explicit struct literal
 //! (`Self { … }` / `TypeName { … }`), every declared field of that
 //! struct must be *mentioned* in the body; missing fields are findings.
@@ -42,7 +47,7 @@ pub fn run_crate(files: &[&SourceFile]) -> Vec<Finding> {
     let mut out = Vec::new();
     for file in files.iter().filter(|f| f.kind == FileKind::Src) {
         for f in file.scan.fns.iter().filter(|f| !f.is_test) {
-            let is_fork = f.name == "fork";
+            let is_fork = matches!(f.name.as_str(), "fork" | "capture" | "delta_apply");
             let is_clone = f.name == "clone" && f.impl_trait.as_deref() == Some("Clone");
             if !is_fork && !is_clone {
                 continue;
@@ -128,6 +133,27 @@ mod tests {
         let f = run_on(src);
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].snippet, "Stack.arena");
+    }
+
+    #[test]
+    fn capture_and_delta_apply_bodies_are_audited() {
+        let src = r#"
+            struct Point { records: u64, devices: Vec<u64>, epoch: u64 }
+            impl Point {
+                fn capture(&self) -> Point {
+                    Point { records: self.records, devices: self.devices.clone() }
+                }
+            }
+            struct Cursor { base: u64, committed: u64 }
+            impl Cursor {
+                fn delta_apply(&mut self, base: u64) {
+                    *self = Cursor { base, committed: self.committed };
+                }
+            }
+        "#;
+        let f = run_on(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].snippet, "Point.epoch");
     }
 
     #[test]

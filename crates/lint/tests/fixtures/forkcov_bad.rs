@@ -44,3 +44,17 @@ impl Wrapper {
         Box::new(self.clone())
     }
 }
+
+pub struct Cursor {
+    base: u64,
+    committed: u64,
+    history: Vec<u64>,
+}
+
+impl Cursor {
+    // VIOLATION: the rebuilt cursor never mentions `history` — a capture
+    // delta that silently drops the newest tracked field.
+    pub fn delta_apply(&mut self, base: u64, committed: u64) {
+        *self = Cursor { base, committed };
+    }
+}

@@ -139,10 +139,12 @@ fn forkcov_fixture_findings() {
         src,
     );
     let s = snippets(&f, "fork-coverage");
-    assert_eq!(s, ["Snapshot.arena"], "{f:#?}");
+    assert_eq!(s, ["Snapshot.arena", "Cursor.history"], "{f:#?}");
     let miss = f.iter().find(|x| x.analyzer == "fork-coverage").unwrap();
     assert_eq!(miss.symbol, "core::Snapshot::fork");
     assert!(miss.message.contains("arena"));
+    let delta = f.iter().find(|x| x.snippet == "Cursor.history").unwrap();
+    assert_eq!(delta.symbol, "core::Cursor::delta_apply");
 }
 
 #[test]
